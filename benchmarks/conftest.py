@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures and scale configuration.
+
+Scales are laptop/CI-sized by default; set ``IFAQ_BENCH_SCALE`` (a float
+multiplier) to grow every workload, e.g. ``IFAQ_BENCH_SCALE=4 pytest
+benchmarks/ --benchmark-only`` for a longer, higher-fidelity run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.data import favorita, retailer
+
+SCALE = float(os.environ.get("IFAQ_BENCH_SCALE", "1.0"))
+
+#: dataset → (small, large) scale factors; the paper's small variant is
+#: 25% of the large one.
+DATASET_SCALES = {
+    "favorita": (0.05 * SCALE, 0.2 * SCALE),
+    "retailer": (0.05 * SCALE, 0.2 * SCALE),
+}
+
+_MAKERS = {"favorita": favorita, "retailer": retailer}
+_CACHE: dict = {}
+
+
+def load_dataset(name: str, size: str):
+    """Memoized dataset construction (generation is untimed)."""
+    key = (name, size)
+    if key not in _CACHE:
+        small, large = DATASET_SCALES[name]
+        scale = small if size == "small" else large
+        _CACHE[key] = _MAKERS[name](scale=scale, seed=42)
+    return _CACHE[key]
+
+
+@pytest.fixture(params=["favorita", "retailer"])
+def dataset_name(request):
+    return request.param
+
+
+@pytest.fixture(params=["small", "large"])
+def dataset_size(request):
+    return request.param
+
+
+@pytest.fixture
+def bundle(dataset_name, dataset_size):
+    return load_dataset(dataset_name, dataset_size)
+
+
+def ifaq_backend() -> str:
+    """C++ when a toolchain exists (the paper's backend), else Python."""
+    from repro.backend.compile_cpp import gxx_available
+
+    return "cpp" if gxx_available() else "python"

@@ -1,0 +1,42 @@
+"""Section 5 "Compilation Overhead" — g++ time for generated kernels.
+
+The paper reports 4.3 s / 8.3 s (Retailer LR / trees) and 9.7 s / 2.4 s
+(Favorita); the shape to reproduce is simply that compile times sit in
+the seconds range and scale with the number of generated aggregate
+statements (Retailer's 35-attribute covar kernel is the big one).
+"""
+
+import pytest
+
+from benchmarks.conftest import load_dataset
+from repro.aggregates import build_join_tree, covar_batch
+from repro.backend.codegen_cpp import generate_cpp_kernel
+from repro.backend.compile_cpp import compile_kernel, gxx_available
+from repro.backend.layout import LAYOUT_SORTED
+from repro.bench import emit, emit_header
+
+
+@pytest.mark.parametrize("name", ["favorita", "retailer"])
+@pytest.mark.benchmark(group="compilation-overhead")
+def test_gcc_compile_time(benchmark, name, tmp_path):
+    if not gxx_available():
+        pytest.skip("g++ not available")
+    ds = load_dataset(name, "small")
+    batch = covar_batch(ds.features, label=ds.label)
+    tree = build_join_tree(ds.db.schema(), ds.query.relations, stats=ds.db.statistics())
+    from repro.backend.plan import build_batch_plan
+
+    plan = build_batch_plan(ds.db, tree, batch)
+    kernel = generate_cpp_kernel(plan, LAYOUT_SORTED)
+
+    def compile_fresh():
+        # a private work dir defeats the content-hash cache
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as work:
+            return compile_kernel(kernel, work_dir=work).compile_seconds
+
+    seconds = benchmark.pedantic(compile_fresh, rounds=1, iterations=1)
+    emit_header(f"Compilation overhead — {ds.name}")
+    emit(f"  {len(batch)} aggregates, g++ -O3: {seconds:.2f} s")
+    assert seconds > 0

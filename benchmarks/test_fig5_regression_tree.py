@@ -1,0 +1,75 @@
+"""Figure 5 (right) — end-to-end regression trees (CART, depth ≤ 4).
+
+Rows per dataset × size:
+
+* ``ifaq_tree`` — factorized CART: per-node group-by aggregate batches
+  evaluated directly over the database, δ conditions pushed into scans;
+* ``materialize`` — the competitors' shared join-materialization step;
+* ``scikit_tree_learn_step`` — exact CART over the materialized matrix.
+
+The IFAQ tree runs on the vectorized factorized engine (the analog of
+the paper's generated C++); the baseline is exact CART over the
+materialized numpy matrix.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import load_dataset
+from repro.bench import emit, emit_header
+from repro.ml import (
+    BaselineRegressionTree,
+    IFAQRegressionTree,
+    materialize_to_matrix,
+)
+
+DEPTH = 4  # the paper's setting: depth ≤ 4, max 31 nodes
+
+CASES = [
+    (name, size) for name in ("favorita", "retailer") for size in ("small", "large")
+]
+
+
+def _features(ds, name):
+    return list(ds.features)  # all continuous attributes, as in the paper
+
+
+def _group(name, size):
+    return f"fig5-regtree-{name}-{size}"
+
+
+@pytest.mark.parametrize("name,size", CASES)
+def test_ifaq_tree_end_to_end(benchmark, name, size):
+    ds = load_dataset(name, size)
+    benchmark.group = _group(name, size)
+    features = _features(ds, name)
+    model = IFAQRegressionTree(
+        features, ds.label, max_depth=DEPTH, max_thresholds=64
+    )
+    fitted = benchmark.pedantic(lambda: model.fit(ds.db, ds.query), rounds=1, iterations=1)
+    emit_header(f"Figure 5 tree — {ds.name} [{size}]")
+    emit(f"  nodes={fitted.root_.node_count()} depth={fitted.root_.depth()}")
+    assert fitted.root_.depth() <= DEPTH + 1
+
+
+@pytest.mark.parametrize("name,size", CASES)
+def test_tree_materialize_step(benchmark, name, size):
+    ds = load_dataset(name, size)
+    benchmark.group = _group(name, size)
+    features = _features(ds, name)
+    x, y = benchmark.pedantic(
+        lambda: materialize_to_matrix(ds.db, ds.query, features, ds.label),
+        rounds=2, iterations=1,
+    )
+    assert x.shape[1] == len(features)
+
+
+@pytest.mark.parametrize("name,size", CASES)
+def test_scikit_tree_learn_step(benchmark, name, size):
+    ds = load_dataset(name, size)
+    benchmark.group = _group(name, size)
+    features = _features(ds, name)
+    x, y = materialize_to_matrix(ds.db, ds.query, features, ds.label)
+    model = BaselineRegressionTree(features, ds.label, max_depth=DEPTH)
+    fitted = benchmark(lambda: model.learn(x, y))
+    assert fitted.root_ is not None

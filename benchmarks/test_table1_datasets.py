@@ -1,0 +1,34 @@
+"""Table 1 — characteristics of the Retailer and Favorita datasets.
+
+Reports tuples/size of the database, tuples/size of the join result,
+and the relation/attribute counts, for the synthetic stand-ins at both
+benchmark scales.  The timed portion is the join materialization (the
+cost every materialize-then-learn competitor pays up front).
+"""
+
+import pytest
+
+from benchmarks.conftest import load_dataset
+from repro.bench import emit, emit_header
+from repro.db.query import materialize_join
+
+
+@pytest.mark.parametrize("name", ["favorita", "retailer"])
+@pytest.mark.benchmark(group="table1-join-materialization")
+def test_table1_row(benchmark, name):
+    ds = load_dataset(name, "large")
+    joined = benchmark(materialize_join, ds.db, ds.query)
+
+    summary = ds.summary()
+    emit_header(f"Table 1 — {ds.name}")
+    emit(f"  Tuples/Size of Database     {summary['db_tuples']:>10,d}"
+         f"  ({summary['db_bytes'] / 1e6:.1f} MB est.)")
+    emit(f"  Tuples/Size of Join Result  {summary['join_tuples']:>10,d}"
+         f"  ({summary['join_bytes'] / 1e6:.1f} MB est.)")
+    emit(f"  Relations / Continuous Attrs {summary['relations']} / {summary['continuous_attrs']}")
+
+    assert joined.tuple_count() == summary["join_tuples"]
+    # shape checks against the paper's Table 1
+    assert summary["relations"] == 5
+    expected_attrs = 6 if name == "favorita" else 35
+    assert summary["continuous_attrs"] == expected_attrs

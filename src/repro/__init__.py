@@ -1,0 +1,19 @@
+"""IFAQ — Multi-layer Optimizations for End-to-End Data Analytics.
+
+A from-scratch Python reproduction of the CGO 2020 paper by Shaikhha,
+Schleich, Ghita and Olteanu.  The package provides:
+
+* :mod:`repro.ir` — the IFAQ core language (D-IFAQ / S-IFAQ AST),
+* :mod:`repro.interp` — the reference interpreter,
+* :mod:`repro.opt` — high-level optimizations (Figure 4a-e, i),
+* :mod:`repro.typing` — schema specialization and the S-IFAQ type checker,
+* :mod:`repro.aggregates` — aggregate batch extraction, join trees,
+  pushdown, view merging, multi-aggregate iteration, tries,
+* :mod:`repro.backend` — data-layout synthesis and Python/C++ codegen,
+* :mod:`repro.db` — the relational substrate,
+* :mod:`repro.ml` — linear regression / regression trees on top of IFAQ,
+  plus materialize-then-learn baselines,
+* :mod:`repro.data` — synthetic Retailer and Favorita generators.
+"""
+
+__version__ = "1.0.0"

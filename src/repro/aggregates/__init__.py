@@ -1,0 +1,40 @@
+"""Aggregate-query optimizations (paper Section 4.3)."""
+
+from repro.aggregates.batch import (
+    COUNT,
+    AggregateBatch,
+    AggregateSpec,
+    covar_batch,
+    variance_batch,
+)
+from repro.aggregates.engine import (
+    compute_batch_materialized,
+    compute_batch_merged,
+    compute_batch_pushdown,
+    compute_batch_trie,
+    compute_groupby,
+)
+from repro.aggregates.extract import (
+    ExtractionResult,
+    extract_aggregates,
+    extract_program_aggregates,
+    match_aggregate,
+    remove_dead_inits,
+)
+from repro.aggregates.ifaq_views import merged_views_expr, views_per_aggregate_expr
+from repro.aggregates.join_tree import (
+    JoinTreeError,
+    JoinTreeNode,
+    build_join_tree,
+    reroot,
+)
+
+__all__ = [
+    "COUNT", "AggregateBatch", "AggregateSpec", "ExtractionResult",
+    "JoinTreeError", "JoinTreeNode", "build_join_tree",
+    "compute_batch_materialized", "compute_batch_merged",
+    "compute_batch_pushdown", "compute_batch_trie", "compute_groupby",
+    "covar_batch", "extract_aggregates", "extract_program_aggregates",
+    "match_aggregate", "merged_views_expr", "remove_dead_inits", "reroot",
+    "variance_batch", "views_per_aggregate_expr",
+]

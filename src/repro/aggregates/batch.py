@@ -1,0 +1,111 @@
+"""Aggregate batches (paper Section 4.3, "Extract Aggregates").
+
+The data-intensive kernel of an IFAQ learning program is a *batch* of
+sum-product aggregates over the join result::
+
+    M_{f1,f2} = Σ_{x∈dom(Q)} Q(x) · x.f1 · x.f2
+
+An :class:`AggregateSpec` names the product of attributes (with
+multiplicity — ``("c", "c")`` is ``x.c²``; the empty product is the
+count ``|Q|``).  An :class:`AggregateBatch` is an ordered collection of
+distinct specs; the whole covar matrix for *n* features is one batch of
+``n(n+1)/2 + n + 1`` aggregates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One sum-product aggregate: ``Σ Q(x) · Π_{a∈attrs} x.a``.
+
+    ``attrs`` is kept sorted so that ``x.c * x.p`` and ``x.p * x.c``
+    are the same aggregate — the view-merging pass deduplicates on
+    this identity.
+    """
+
+    attrs: tuple[str, ...]
+
+    @staticmethod
+    def of(*attrs: str) -> "AggregateSpec":
+        return AggregateSpec(tuple(sorted(attrs)))
+
+    @property
+    def name(self) -> str:
+        """A stable identifier usable as a record field name."""
+        if not self.attrs:
+            return "agg_count"
+        return "agg_" + "_".join(self.attrs)
+
+    @property
+    def degree(self) -> int:
+        return len(self.attrs)
+
+    def __repr__(self) -> str:
+        if not self.attrs:
+            return "Σ Q(x)"
+        prod = "·".join(f"x.{a}" for a in self.attrs)
+        return f"Σ Q(x)·{prod}"
+
+
+COUNT = AggregateSpec(())
+
+
+@dataclass(frozen=True)
+class AggregateBatch:
+    """An ordered set of distinct aggregate specs evaluated together."""
+
+    specs: tuple[AggregateSpec, ...]
+
+    @staticmethod
+    def of(specs: Iterable[AggregateSpec]) -> "AggregateBatch":
+        seen: dict[AggregateSpec, None] = {}
+        for s in specs:
+            seen.setdefault(s, None)
+        return AggregateBatch(tuple(seen))
+
+    def __iter__(self) -> Iterator[AggregateSpec]:
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def index_of(self, spec: AggregateSpec) -> int:
+        return self.specs.index(spec)
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self.specs)
+
+    def all_attributes(self) -> tuple[str, ...]:
+        seen: dict[str, None] = {}
+        for s in self.specs:
+            for a in s.attrs:
+                seen.setdefault(a, None)
+        return tuple(seen)
+
+
+def covar_batch(features: Sequence[str], label: str | None = None) -> AggregateBatch:
+    """The non-centred covariance batch for linear regression.
+
+    Contains the count, the first moments ``Σ x.f``, the second moments
+    ``Σ x.f·x.g`` for every unordered feature pair (squares included),
+    and — when a label is given — the label moments ``Σ x.y``,
+    ``Σ x.y²`` and correlations ``Σ x.f·x.y``.
+    """
+    cols = list(features) + ([label] if label is not None else [])
+    specs: list[AggregateSpec] = [COUNT]
+    specs.extend(AggregateSpec.of(f) for f in cols)
+    for i, f in enumerate(cols):
+        for g in cols[i:]:
+            specs.append(AggregateSpec.of(f, g))
+    return AggregateBatch.of(specs)
+
+
+def variance_batch(label: str) -> AggregateBatch:
+    """The CART node-cost batch: count, ``Σ y``, ``Σ y²`` (Section 3)."""
+    return AggregateBatch.of(
+        [COUNT, AggregateSpec.of(label), AggregateSpec.of(label, label)]
+    )

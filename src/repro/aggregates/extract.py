@@ -1,0 +1,158 @@
+"""Aggregate extraction (paper Section 4.3, "Extract Aggregates").
+
+Scans an S-IFAQ expression for sum-product aggregates over the training
+dataset ``Q``::
+
+    Σ_{x∈dom(Q)} Q(x) · x.f1 · ... · x.fk        (k ≥ 0)
+
+and replaces each with a field access into an aggregate-batch record
+(``__aggs.agg_f1_f2``).  The collected batch is then computed directly
+over the input database by the factorized engines — the expression no
+longer needs ``Q`` materialized at all.
+
+Constant factors are preserved outside the extracted aggregate, so
+``Σ Q(x)·(-1)·x.f`` extracts the aggregate ``Σ Q(x)·x.f`` scaled by
+``-1`` at the use site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aggregates.batch import AggregateBatch, AggregateSpec
+from repro.ir.expr import (
+    Const,
+    Dom,
+    Expr,
+    FieldAccess,
+    Lookup,
+    Mul,
+    Sum,
+    Var,
+)
+from repro.ir.program import Program
+from repro.ir.traversal import children, free_vars, rebuild_exact
+from repro.opt.factorization import flatten_product
+
+
+@dataclass
+class ExtractionResult:
+    """The rewritten expression plus the aggregates it references."""
+
+    expr: Expr
+    specs: list[AggregateSpec] = field(default_factory=list)
+
+    def batch(self) -> AggregateBatch:
+        return AggregateBatch.of(self.specs)
+
+
+def match_aggregate(e: Expr, q_var: str) -> tuple[AggregateSpec, float] | None:
+    """Match ``Σ_{x∈dom(Q)} c · Q(x) · x.a1 ⋯ x.ak`` → (spec, c).
+
+    Returns None when the summation body contains anything beyond the
+    relation lookup, field accesses on the loop variable, and numeric
+    constants.
+    """
+    if not isinstance(e, Sum):
+        return None
+    if not (isinstance(e.domain, Dom) and isinstance(e.domain.operand, Var)):
+        return None
+    if e.domain.operand.name != q_var:
+        return None
+    x = e.var
+
+    factors = flatten_product(e.body)
+    lookup_count = 0
+    attrs: list[str] = []
+    coefficient = 1.0
+    for f in factors:
+        if isinstance(f, Lookup) and f.dict_expr == Var(q_var) and f.key == Var(x):
+            lookup_count += 1
+        elif isinstance(f, FieldAccess) and f.record == Var(x):
+            attrs.append(f.name)
+        elif isinstance(f, Const) and isinstance(f.value, (int, float)) and not isinstance(f.value, bool):
+            coefficient *= f.value
+        else:
+            return None
+    if lookup_count != 1:
+        return None
+    return AggregateSpec.of(*attrs), coefficient
+
+
+def extract_aggregates(
+    e: Expr, q_var: str = "Q", aggs_var: str = "__aggs"
+) -> ExtractionResult:
+    """Replace every matching aggregate in ``e`` with a batch reference."""
+    result = ExtractionResult(expr=e)
+
+    def visit(node: Expr) -> Expr:
+        matched = match_aggregate(node, q_var)
+        if matched is not None:
+            spec, coefficient = matched
+            if spec not in result.specs:
+                result.specs.append(spec)
+            ref: Expr = FieldAccess(Var(aggs_var), spec.name)
+            if coefficient != 1.0:
+                ref = Mul(Const(coefficient), ref)
+            return ref
+        new_children = tuple(visit(c) for c in children(node))
+        return rebuild_exact(node, new_children)
+
+    result.expr = visit(e)
+    return result
+
+
+def extract_program_aggregates(
+    program: Program, q_var: str = "Q", aggs_var: str = "__aggs"
+) -> tuple[Program, AggregateBatch]:
+    """Extract aggregates from every component of a program.
+
+    After extraction the init binding ``Q`` (and anything only it
+    needed) is usually dead; :func:`remove_dead_inits` prunes it, so the
+    residual program never touches the join result.
+    """
+    collector = ExtractionResult(expr=program.body)
+    specs: list[AggregateSpec] = []
+
+    def extract(e: Expr) -> Expr:
+        res = extract_aggregates(e, q_var, aggs_var)
+        for s in res.specs:
+            if s not in specs:
+                specs.append(s)
+        return res.expr
+
+    new_program = Program(
+        inits=tuple(
+            (name, extract(value)) if name != q_var else (name, value)
+            for name, value in program.inits
+        ),
+        state=program.state,
+        init=extract(program.init),
+        cond=extract(program.cond),
+        body=extract(program.body),
+    )
+    return remove_dead_inits(new_program), AggregateBatch.of(specs)
+
+
+def remove_dead_inits(program: Program) -> Program:
+    """Drop init bindings not referenced by anything downstream."""
+    needed = (
+        free_vars(program.init)
+        | free_vars(program.cond)
+        | free_vars(program.body)
+    ) - {program.state}
+    kept: list[tuple[str, Expr]] = []
+    for name, value in reversed(program.inits):
+        if name in needed:
+            kept.append((name, value))
+            needed |= free_vars(value)
+    kept.reverse()
+    if len(kept) == len(program.inits):
+        return program
+    return Program(
+        inits=tuple(kept),
+        state=program.state,
+        init=program.init,
+        cond=program.cond,
+        body=program.body,
+    )

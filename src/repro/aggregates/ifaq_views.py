@@ -1,0 +1,155 @@
+"""View trees as S-IFAQ expressions (paper Examples 4.9 and 4.10).
+
+The factorized engines in :mod:`repro.aggregates.engine` execute view
+trees directly; this module renders the same plans as core-language
+expressions, which keeps the transformation story inspectable — unit
+tests check that the emitted expressions evaluate (via the reference
+interpreter) to the same values the engines produce, and the backend
+uses the emitted structure to drive code generation.
+
+Two emitters mirror the paper's ladder:
+
+* :func:`views_per_aggregate_expr` — one view per edge **per
+  aggregate** (Example 4.9, before view merging);
+* :func:`merged_views_expr` — merged views with record payloads and a
+  single multi-aggregate scan per relation (Example 4.10).
+"""
+
+from __future__ import annotations
+
+from repro.aggregates.batch import AggregateBatch, AggregateSpec
+from repro.aggregates.join_tree import JoinTreeNode
+from repro.db.database import Database
+from repro.ir.builders import let_star, product, record
+from repro.ir.expr import (
+    DictLit,
+    Dom,
+    Expr,
+    FieldAccess,
+    Lookup,
+    RecordLit,
+    Sum,
+    Var,
+)
+
+from repro.aggregates.engine import assign_attribute_owners, _owned_attrs
+
+
+def _key_record(var: str, attrs: tuple[str, ...]) -> RecordLit:
+    return RecordLit(tuple((a, FieldAccess(Var(var), a)) for a in attrs))
+
+
+def _owned_product(var: str, rel_lookup: Expr, attrs: tuple[str, ...]) -> Expr:
+    return product([rel_lookup] + [FieldAccess(Var(var), a) for a in attrs])
+
+
+def views_per_aggregate_expr(
+    db: Database,
+    tree: JoinTreeNode,
+    batch: AggregateBatch,
+    result_var: str = "M",
+) -> Expr:
+    """Example 4.9: independent view trees, one per aggregate.
+
+    Emits ``let V_<rel>_<agg> = ... in`` for every (edge, aggregate)
+    pair and a root summation per aggregate, producing a record
+    ``{agg_name = ..., ...}``.
+    """
+    owners = assign_attribute_owners(tree, db, batch.all_attributes())
+    bindings: list[tuple[str, Expr]] = []
+    root_fields: list[tuple[str, Expr]] = []
+
+    for spec in batch:
+        root_expr = _single_view(tree, spec, owners, bindings, suffix=spec.name)
+        root_fields.append((spec.name, root_expr))
+
+    return let_star(bindings, record(root_fields))
+
+
+def _single_view(
+    node: JoinTreeNode,
+    spec: AggregateSpec,
+    owners: dict[str, str],
+    bindings: list[tuple[str, Expr]],
+    suffix: str,
+) -> Expr:
+    """Emit the view chain for one aggregate rooted at ``node``.
+
+    Children emit ``let``-bound dictionary views; the node itself
+    returns a summation expression (a scalar at the root, a dictionary
+    elsewhere — the caller binds it).
+    """
+    rel = node.relation
+    x = f"x_{rel.lower()}"
+    rel_lookup = Lookup(Var(rel), Var(x))
+    owned = _owned_attrs(spec, owners, rel)
+
+    factors: list[Expr] = [_owned_product(x, rel_lookup, owned)]
+    for child in node.children:
+        child_expr = _single_view(child, spec, owners, bindings, suffix)
+        view_name = f"V_{child.relation}_{suffix}"
+        bindings.append((view_name, child_expr))
+        factors.append(Lookup(Var(view_name), _key_record(x, child.join_attrs)))
+
+    body = product(factors)
+    if node.join_attrs:  # non-root: a dictionary view keyed by join attrs
+        return Sum(x, Dom(Var(rel)), DictLit(((_key_record(x, node.join_attrs), body),)))
+    return Sum(x, Dom(Var(rel)), body)
+
+
+def merged_views_expr(
+    db: Database,
+    tree: JoinTreeNode,
+    batch: AggregateBatch,
+) -> Expr:
+    """Example 4.10: merged views with record payloads, one scan per
+    relation for the whole batch (multi-aggregate iteration)."""
+    owners = assign_attribute_owners(tree, db, batch.all_attributes())
+    bindings: list[tuple[str, Expr]] = []
+    root_expr = _merged_view(tree, batch, owners, bindings)
+    return let_star(bindings, root_expr)
+
+
+def _merged_view(
+    node: JoinTreeNode,
+    batch: AggregateBatch,
+    owners: dict[str, str],
+    bindings: list[tuple[str, Expr]],
+) -> Expr:
+    rel = node.relation
+    x = f"x_{rel.lower()}"
+    rel_lookup = Lookup(Var(rel), Var(x))
+    w_vars: list[tuple[str, JoinTreeNode]] = []
+
+    inner_bindings: list[tuple[str, Expr]] = []
+    for child in node.children:
+        child_expr = _merged_view(child, batch, owners, bindings)
+        view_name = f"W_{child.relation}"
+        bindings.append((view_name, child_expr))
+        w_var = f"w_{child.relation.lower()}"
+        inner_bindings.append(
+            (w_var, Lookup(Var(view_name), _key_record(x, child.join_attrs)))
+        )
+        w_vars.append((w_var, child))
+
+    payload_fields: list[tuple[str, Expr]] = []
+    for spec in batch:
+        owned = _owned_attrs(spec, owners, rel)
+        factors: list[Expr] = [FieldAccess(Var(x), a) for a in owned]
+        for w_var, _child in w_vars:
+            factors.append(FieldAccess(Var(w_var), spec.name))
+        payload_fields.append((spec.name, product(factors)))
+    payload = record(payload_fields)
+
+    if node.join_attrs:
+        body: Expr = Mul_scalar(rel_lookup, DictLit(((_key_record(x, node.join_attrs), payload),)))
+    else:
+        body = Mul_scalar(rel_lookup, payload)
+    inner = let_star(inner_bindings, body)
+    return Sum(x, Dom(Var(rel)), inner)
+
+
+def Mul_scalar(scalar: Expr, value: Expr) -> Expr:
+    from repro.ir.expr import Mul
+
+    return Mul(scalar, value)

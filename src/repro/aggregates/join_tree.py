@@ -1,0 +1,148 @@
+"""Join tree construction (paper Section 4.3, Example 4.8).
+
+A join tree has relations as nodes; an edge is annotated with the
+attributes its endpoints join on.  The tree directs the aggregate
+pushdown: views flow bottom-up from leaves towards the root, which is
+normally the fact table.
+
+The paper assumes the join order is given (standard query-optimization
+territory); :func:`build_join_tree` provides a sensible default — a
+maximum-shared-attributes spanning tree rooted at the largest relation
+— and callers can also pass an explicit parent mapping.  Rerooting
+(:func:`reroot`) supports group-by aggregates whose group attribute
+lives in a dimension table, as the regression-tree learner needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from repro.db.schema import DatabaseSchema
+
+
+@dataclass
+class JoinTreeNode:
+    """One relation in the join tree."""
+
+    relation: str
+    #: attributes shared with the parent (empty at the root)
+    join_attrs: tuple[str, ...] = ()
+    children: list["JoinTreeNode"] = field(default_factory=list)
+
+    def walk(self) -> Iterator["JoinTreeNode"]:
+        """Pre-order traversal."""
+        yield self
+        for c in self.children:
+            yield from c.walk()
+
+    def find(self, relation: str) -> "JoinTreeNode | None":
+        for node in self.walk():
+            if node.relation == relation:
+                return node
+        return None
+
+    def relation_names(self) -> list[str]:
+        return [n.relation for n in self.walk()]
+
+    def pretty(self, indent: int = 0) -> str:
+        key = f" ⋈[{', '.join(self.join_attrs)}]" if self.join_attrs else " (root)"
+        lines = [" " * indent + self.relation + key]
+        for c in self.children:
+            lines.append(c.pretty(indent + 2))
+        return "\n".join(lines)
+
+
+class JoinTreeError(ValueError):
+    """The query's join graph cannot form a (connected, acyclic) tree."""
+
+
+def build_join_tree(
+    schema: DatabaseSchema,
+    relations: Sequence[str],
+    root: str | None = None,
+    stats: Mapping[str, int] | None = None,
+) -> JoinTreeNode:
+    """Greedy maximum-spanning-tree construction over the join graph.
+
+    The root defaults to the relation with the most tuples (the fact
+    table).  Edges are chosen by descending number of shared join
+    attributes — a stand-in for the cost-based optimizer the paper
+    defers to [25].
+    """
+    relations = list(relations)
+    if not relations:
+        raise JoinTreeError("no relations given")
+    if root is None:
+        if stats:
+            root = max(relations, key=lambda r: stats.get(r, 0))
+        else:
+            root = relations[0]
+    if root not in relations:
+        raise JoinTreeError(f"root {root!r} is not among the query relations")
+
+    graph = schema.join_graph()
+    edges: dict[frozenset[str], tuple[str, ...]] = {
+        frozenset(pair): attrs
+        for pair, attrs in graph.items()
+        if pair[0] in relations and pair[1] in relations
+    }
+
+    nodes = {root: JoinTreeNode(root)}
+    remaining = set(relations) - {root}
+    while remaining:
+        best: tuple[int, str, str] | None = None
+        for pending in remaining:
+            for attached in nodes:
+                attrs = edges.get(frozenset((pending, attached)))
+                if attrs and (best is None or len(attrs) > best[0]):
+                    best = (len(attrs), pending, attached)
+        if best is None:
+            raise JoinTreeError(
+                f"join graph is disconnected: cannot attach {sorted(remaining)}"
+            )
+        _, pending, attached = best
+        attrs = edges[frozenset((pending, attached))]
+        child = JoinTreeNode(pending, join_attrs=attrs)
+        nodes[attached].children.append(child)
+        nodes[pending] = child
+        remaining.discard(pending)
+    return nodes[root]
+
+
+def reroot(tree: JoinTreeNode, new_root: str, schema: DatabaseSchema) -> JoinTreeNode:
+    """Reorient the tree so ``new_root`` becomes the root.
+
+    Used for group-by aggregates: the grouping attribute's owner must
+    sit at the root so the final scan is keyed by it (LMFAO's
+    multi-root trick, which the paper lists as the categorical-feature
+    extension).
+    """
+    if tree.relation == new_root:
+        return tree
+    if tree.find(new_root) is None:
+        raise JoinTreeError(f"{new_root!r} is not in the join tree")
+
+    # The tree as an undirected adjacency list, edges keeping their
+    # join attributes; then rebuild by BFS from the new root.
+    adjacency: dict[str, list[tuple[str, tuple[str, ...]]]] = {
+        n.relation: [] for n in tree.walk()
+    }
+    for node in tree.walk():
+        for c in node.children:
+            adjacency[node.relation].append((c.relation, c.join_attrs))
+            adjacency[c.relation].append((node.relation, c.join_attrs))
+
+    root = JoinTreeNode(new_root)
+    nodes = {new_root: root}
+    frontier = [new_root]
+    while frontier:
+        current = frontier.pop()
+        for neighbour, attrs in adjacency[current]:
+            if neighbour in nodes:
+                continue
+            child = JoinTreeNode(neighbour, join_attrs=attrs)
+            nodes[current].children.append(child)
+            nodes[neighbour] = child
+            frontier.append(neighbour)
+    return root

@@ -1,0 +1,83 @@
+"""Compile and run generated C++ kernels with g++.
+
+Binaries are cached per source hash under a work directory, so repeated
+benchmark runs pay the compiler once.  Compile times are recorded —
+the paper reports them separately ("Compilation Overhead").
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+import subprocess
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.backend.codegen_cpp import CppKernel
+
+
+class CppToolchainError(RuntimeError):
+    """g++ is unavailable or compilation failed."""
+
+
+def gxx_available() -> bool:
+    return shutil.which("g++") is not None
+
+
+_CACHE_DIR = Path(tempfile.gettempdir()) / "ifaq-cpp-cache"
+
+
+@dataclass
+class CompiledKernel:
+    binary_path: Path
+    compile_seconds: float
+    source: str
+
+    def run(self, data_path: str | Path) -> tuple[float, list[float]]:
+        """Execute the kernel; returns (elapsed seconds, aggregate values)."""
+        proc = subprocess.run(
+            [str(self.binary_path), str(data_path)],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        if proc.returncode != 0:
+            raise CppToolchainError(
+                f"kernel run failed (exit {proc.returncode}): {proc.stderr}"
+            )
+        lines = proc.stdout.strip().splitlines()
+        elapsed_ns = int(lines[0])
+        values = [float(x) for x in lines[1:]]
+        return elapsed_ns / 1e9, values
+
+
+def compile_kernel(
+    kernel: CppKernel,
+    work_dir: str | Path | None = None,
+    extra_flags: tuple[str, ...] = (),
+) -> CompiledKernel:
+    """Compile ``kernel`` with ``g++ -O3`` (cached by source hash)."""
+    if not gxx_available():
+        raise CppToolchainError("g++ not found on PATH")
+    cache = Path(work_dir) if work_dir else _CACHE_DIR
+    cache.mkdir(parents=True, exist_ok=True)
+
+    digest = hashlib.sha256(
+        (kernel.source + "|".join(extra_flags)).encode()
+    ).hexdigest()[:16]
+    src_path = cache / f"kernel_{digest}.cpp"
+    bin_path = cache / f"kernel_{digest}"
+
+    if bin_path.exists():
+        return CompiledKernel(binary_path=bin_path, compile_seconds=0.0, source=kernel.source)
+
+    src_path.write_text(kernel.source)
+    cmd = ["g++", "-O3", "-std=c++17", *extra_flags, str(src_path), "-o", str(bin_path)]
+    started = time.perf_counter()
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    elapsed = time.perf_counter() - started
+    if proc.returncode != 0:
+        raise CppToolchainError(f"g++ failed:\n{proc.stderr}\n--- source ---\n{kernel.source}")
+    return CompiledKernel(binary_path=bin_path, compile_seconds=elapsed, source=kernel.source)

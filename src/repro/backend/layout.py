@@ -1,0 +1,70 @@
+"""Data-layout synthesis decisions (paper Section 4.4).
+
+Each flag corresponds to one of the paper's layout optimizations; the
+code generators consult them to decide what code (and what prepared
+data structures) to emit.  The presets at the bottom are the exact
+ladder of Figure 7b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class LayoutOptions:
+    """Switches for the Section 4.4 optimizations.
+
+    static_records
+        Generate positionally-addressed structures (tuples / C structs)
+        instead of string-keyed dictionaries for records.
+    scalar_replacement
+        Unroll per-aggregate payload records into local scalar
+        variables inside hot loops; single-field payloads lose their
+        record wrapper entirely (Scalar Replacement and
+        Single-Field-Record Removal).
+    dict_to_array
+        Store multiplicity-1 relations as flat arrays rather than
+        tuple→multiplicity dictionaries (Dictionary to Array).
+    hash_trie
+        Group the root relation into a trie on its join attributes and
+        look child views up once per trie group through hash
+        dictionaries (the Section 4.3 Dictionary-to-Trie layout with
+        hash-table dictionaries).
+    sorted_trie
+        The same trie, sorted: child views become parallel sorted
+        arrays accessed with merge cursors / binary search instead of
+        hashing (Sorted Dictionary).
+    """
+
+    static_records: bool = False
+    scalar_replacement: bool = False
+    dict_to_array: bool = False
+    hash_trie: bool = False
+    sorted_trie: bool = False
+
+    def with_(self, **kwargs) -> "LayoutOptions":
+        return replace(self, **kwargs)
+
+
+#: The Figure 7b ladder, least → most optimized.
+LAYOUT_BASELINE = LayoutOptions()
+LAYOUT_RECORDS = LayoutOptions(static_records=True)
+LAYOUT_SCALARIZED = LayoutOptions(static_records=True, scalar_replacement=True)
+LAYOUT_ARRAYS = LayoutOptions(
+    static_records=True, scalar_replacement=True, dict_to_array=True
+)
+LAYOUT_HASH_TRIE = LayoutOptions(
+    static_records=True, scalar_replacement=True, dict_to_array=True, hash_trie=True
+)
+LAYOUT_SORTED = LayoutOptions(
+    static_records=True, scalar_replacement=True, dict_to_array=True, sorted_trie=True
+)
+
+FIGURE_7B_LADDER: tuple[tuple[str, LayoutOptions], ...] = (
+    ("compiled baseline", LAYOUT_BASELINE),
+    ("record removal", LAYOUT_SCALARIZED),
+    ("dict to array", LAYOUT_ARRAYS),
+    ("hash trie", LAYOUT_HASH_TRIE),
+    ("sorted trie", LAYOUT_SORTED),
+)

@@ -1,0 +1,5 @@
+"""Benchmark-harness helpers (reporting, shared setup)."""
+
+from repro.bench.report import emit, emit_header, emit_row, format_seconds
+
+__all__ = ["emit", "emit_header", "emit_row", "format_seconds"]

@@ -1,0 +1,35 @@
+"""Console reporting for the benchmark harness.
+
+The benchmarks print the paper's rows/series directly (bypassing pytest
+capture) so a ``pytest benchmarks/ --benchmark-only`` run leaves the
+reproduced tables in the transcript next to pytest-benchmark's timing
+table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def emit(line: str = "") -> None:
+    """Print to the real stdout, bypassing pytest's capture."""
+    print(line, file=sys.__stdout__, flush=True)
+
+
+def emit_header(title: str) -> None:
+    emit()
+    emit("=" * 72)
+    emit(title)
+    emit("=" * 72)
+
+
+def emit_row(label: str, value: str) -> None:
+    emit(f"  {label:<44s} {value:>20s}")
+
+
+def format_seconds(seconds: float) -> str:
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.2f} ms"
+    return f"{seconds:.3f} s"

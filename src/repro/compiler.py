@@ -1,0 +1,192 @@
+"""The end-to-end IFAQ compiler driver (paper Figures 1 and 3).
+
+Chains the layers::
+
+    D-IFAQ program
+      → high-level optimizations            (Section 4.1)
+      → schema specialization + typecheck   (Section 4.2)
+      → aggregate extraction + join tree    (Section 4.3)
+      → batch evaluation                    (engine, generated Python, or C++)
+      → residual program execution
+
+Every stage's artifact is kept on :class:`CompilationArtifacts` so the
+micro-benchmarks can time any stage's output in isolation and tests can
+inspect intermediate programs.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Literal
+
+from repro.aggregates.batch import AggregateBatch
+from repro.aggregates.engine import (
+    compute_batch_materialized,
+    compute_batch_merged,
+    compute_batch_pushdown,
+    compute_batch_trie,
+)
+from repro.aggregates.extract import extract_program_aggregates
+from repro.aggregates.join_tree import JoinTreeNode, build_join_tree
+from repro.backend.codegen_cpp import generate_cpp_kernel, write_binary_data
+from repro.backend.codegen_python import generate_python_kernel
+from repro.backend.compile_cpp import compile_kernel, gxx_available
+from repro.backend.layout import LAYOUT_SORTED, LayoutOptions
+from repro.backend.plan import BatchPlan, build_batch_plan, prepare_data
+from repro.db.database import Database
+from repro.db.query import JoinQuery
+from repro.interp.interpreter import Interpreter
+from repro.ir.program import Program
+from repro.opt.pipeline import HighLevelOptimizer
+from repro.runtime.values import RecordValue
+from repro.typing.specialize import schema_specialize
+from repro.typing.typecheck import typecheck_program
+
+AggregateMode = Literal["materialized", "pushdown", "merged", "trie"]
+Backend = Literal["engine", "python", "cpp"]
+
+
+@dataclass
+class CompilationArtifacts:
+    """Per-stage outputs of one compilation."""
+
+    source: Program
+    optimized: Program
+    specialized: Program
+    residual: Program
+    batch: AggregateBatch
+    join_tree: JoinTreeNode | None
+    plan: BatchPlan | None
+    kernel_source: str | None = None
+    compile_seconds: float = 0.0
+    state_type: Any = None
+
+
+@dataclass
+class IFAQCompiler:
+    """Compiles and runs IFAQ programs against a database.
+
+    Parameters
+    ----------
+    db, query
+        The input database and the feature-extraction join query.
+    aggregate_mode
+        Which Section 4.3 strategy evaluates the extracted batch.
+    backend
+        ``engine`` interprets the view tree in Python; ``python``
+        executes a generated specialized kernel; ``cpp`` compiles the
+        generated C++ with g++ (falls back to ``python`` when no
+        toolchain is available).
+    layout
+        Data-layout options for the generated kernels (Section 4.4).
+    """
+
+    db: Database
+    query: JoinQuery
+    aggregate_mode: AggregateMode = "trie"
+    backend: Backend = "python"
+    layout: LayoutOptions = field(default_factory=lambda: LAYOUT_SORTED)
+    q_var: str = "Q"
+
+    # -- compilation -----------------------------------------------------
+
+    def compile(self, program: Program) -> CompilationArtifacts:
+        optimizer = HighLevelOptimizer(stats=dict(self.db.statistics()))
+        optimized = optimizer.optimize_program(program)
+
+        relation_types = {
+            rel.name: rel.schema.ifaq_type() for rel in self.db
+        }
+        specialized = schema_specialize(optimized, relation_types)
+        state_type = typecheck_program(specialized, relation_types)
+
+        residual, batch = extract_program_aggregates(specialized, q_var=self.q_var)
+
+        join_tree = None
+        plan = None
+        kernel_source = None
+        if len(batch):
+            join_tree = build_join_tree(
+                self.db.schema(), self.query.relations, stats=dict(self.db.statistics())
+            )
+            plan = build_batch_plan(self.db, join_tree, batch)
+            if self.backend in ("python", "cpp"):
+                kernel_source = self._kernel_source(plan)
+
+        return CompilationArtifacts(
+            source=program,
+            optimized=optimized,
+            specialized=specialized,
+            residual=residual,
+            batch=batch,
+            join_tree=join_tree,
+            plan=plan,
+            kernel_source=kernel_source,
+            state_type=state_type,
+        )
+
+    def _kernel_source(self, plan: BatchPlan) -> str:
+        if self.backend == "cpp" and gxx_available():
+            return generate_cpp_kernel(plan, self.layout).source
+        return generate_python_kernel(plan, self.layout).source
+
+    # -- execution ---------------------------------------------------------
+
+    def compute_batch(self, artifacts: CompilationArtifacts) -> dict[str, float]:
+        """Evaluate the extracted batch directly over the database."""
+        batch = artifacts.batch
+        if not len(batch):
+            return {}
+        if self.backend == "engine" or artifacts.plan is None:
+            return self._engine_batch(artifacts)
+        if self.backend == "cpp" and gxx_available():
+            return self._cpp_batch(artifacts)
+        return self._python_batch(artifacts)
+
+    def _engine_batch(self, artifacts: CompilationArtifacts) -> dict[str, float]:
+        batch, tree = artifacts.batch, artifacts.join_tree
+        if self.aggregate_mode == "materialized" or tree is None:
+            return compute_batch_materialized(self.db, self.query, batch)
+        if self.aggregate_mode == "pushdown":
+            return compute_batch_pushdown(self.db, tree, batch)
+        if self.aggregate_mode == "merged":
+            return compute_batch_merged(self.db, tree, batch)
+        return compute_batch_trie(self.db, tree, batch)
+
+    def _python_batch(self, artifacts: CompilationArtifacts) -> dict[str, float]:
+        assert artifacts.plan is not None
+        kernel = generate_python_kernel(artifacts.plan, self.layout)
+        fn = kernel.compile()
+        data = prepare_data(self.db, artifacts.plan, self.layout)
+        values = fn(data)
+        return {
+            spec.name: values[i] for i, spec in enumerate(artifacts.batch)
+        }
+
+    def _cpp_batch(self, artifacts: CompilationArtifacts) -> dict[str, float]:
+        assert artifacts.plan is not None
+        kernel = generate_cpp_kernel(artifacts.plan, self.layout)
+        compiled = compile_kernel(kernel)
+        artifacts.compile_seconds = compiled.compile_seconds
+        with tempfile.TemporaryDirectory() as tmp:
+            data_path = Path(tmp) / "data.bin"
+            write_binary_data(self.db, artifacts.plan, data_path, self.layout)
+            _, values = compiled.run(data_path)
+        return {
+            spec.name: values[i] for i, spec in enumerate(artifacts.batch)
+        }
+
+    def run(self, program: Program) -> Any:
+        """Compile, evaluate the batch, and execute the residual program."""
+        artifacts = self.compile(program)
+        return self.run_artifacts(artifacts)
+
+    def run_artifacts(self, artifacts: CompilationArtifacts) -> Any:
+        aggs = self.compute_batch(artifacts)
+        env = self.db.to_env()
+        if aggs:
+            env["__aggs"] = RecordValue(aggs)
+        interp = Interpreter(env)
+        return interp.run_program(artifacts.residual)

@@ -1,0 +1,8 @@
+"""Synthetic datasets shaped like the paper's Retailer and Favorita."""
+
+from repro.data.bundle import DatasetBundle
+from repro.data.favorita import favorita
+from repro.data.retailer import retailer
+from repro.data.synthetic import star_schema
+
+__all__ = ["DatasetBundle", "favorita", "retailer", "star_schema"]

@@ -1,0 +1,48 @@
+"""Dataset bundles: a database, its query, features, and a test split."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.db.query import JoinQuery, materialize_join
+from repro.db.relation import Relation
+
+
+@dataclass
+class DatasetBundle:
+    """Everything one experiment needs about a dataset.
+
+    ``db`` holds the training fact table plus dimensions; ``test_db``
+    shares the dimensions but carries the held-out fact rows (the
+    paper holds out the last month of sales/inventory).
+    """
+
+    name: str
+    db: Database
+    test_db: Database
+    query: JoinQuery
+    features: list[str]
+    label: str
+
+    def test_matrix(self):
+        """Materialized held-out join as a (X, y) numpy pair."""
+        from repro.ml.baselines import materialize_to_matrix
+
+        return materialize_to_matrix(self.test_db, self.query, self.features, self.label)
+
+    def test_relation(self) -> Relation:
+        return materialize_join(self.test_db, self.query)
+
+    def summary(self) -> dict:
+        """The Table 1 row for this dataset."""
+        joined = materialize_join(self.db, self.query)
+        return {
+            "dataset": self.name,
+            "db_tuples": self.db.total_tuples(),
+            "db_bytes": self.db.estimated_size_bytes(),
+            "join_tuples": joined.tuple_count(),
+            "join_bytes": joined.estimated_size_bytes(),
+            "relations": len(list(self.db)),
+            "continuous_attrs": len(self.features) + 1,  # + label
+        }

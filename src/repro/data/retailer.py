@@ -1,0 +1,197 @@
+"""Synthetic Retailer-shaped dataset (paper Section 5, Table 1).
+
+The real Retailer is a proprietary US-retailer dataset [48] with an
+``Inventory`` fact table and dimension tables for store locations,
+census statistics of the location's zip code, items, and daily weather.
+This generator reproduces its shape — 5 relations, 35 continuous
+attributes, a snowflake join (``Census`` joins ``Location`` on ``zip``,
+everything else joins the fact on ``locn`` / ``ksn`` / ``(locn,
+dateid)``) — at configurable scale.
+
+Attribute counts per relation (continuous only, as the paper uses):
+
+    Inventory  1   (inventoryunits = label)
+    Location  12   (area, income, distances to competitors, ...)
+    Census    14   (population, demographics, households, ...)
+    Item       3   (price, subcategory code, category cluster code)
+    Weather    5   (rain, snow, maxtemp, mintemp, meanwind)
+
+for the paper's total of 35.  The label has a planted linear signal
+over a handful of them plus noise.  The last ~20% of dateids are the
+held-out test split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.bundle import DatasetBundle
+from repro.db.database import Database
+from repro.db.query import JoinQuery
+from repro.db.relation import Relation
+from repro.db.schema import RelationSchema
+from repro.ir.types import INT, REAL
+
+LOCATION_FEATURES = [
+    "rgn_cd", "clim_zn_nbr", "tot_area_sq_ft", "sell_area_sq_ft", "avghhi",
+    "supertargetdistance", "supertargetdrivetime", "targetdistance",
+    "targetdrivetime", "walmartdistance", "walmartdrivetime",
+    "walmartsupercenterdistance",
+]
+CENSUS_FEATURES = [
+    "population", "white", "asian", "pacific", "blackafrican", "medianage",
+    "occupiedhouseunits", "houseunits", "families", "households",
+    "husbwife", "males", "females", "householdschildren",
+]
+ITEM_FEATURES = ["price", "subcategory", "categorycluster"]
+WEATHER_FEATURES = ["rain", "snow", "maxtemp", "mintemp", "meanwind"]
+
+FEATURES = LOCATION_FEATURES + CENSUS_FEATURES + ITEM_FEATURES + WEATHER_FEATURES
+LABEL = "inventoryunits"
+
+RELATIONS = ("Inventory", "Location", "Census", "Item", "Weather")
+
+
+def retailer(scale: float = 1.0, seed: int = 1) -> DatasetBundle:
+    """Generate the bundle; ``scale=1.0`` ≈ 100k fact tuples."""
+    rng = np.random.default_rng(seed)
+
+    n_dates = max(int(50 * min(scale, 1.0) + 15), 20)
+    n_locations = max(int(30 * scale**0.5), 5)
+    n_items = max(int(300 * scale**0.5), 25)
+    n_facts = max(int(100_000 * scale), 500)
+    n_zips = max(n_locations * 2 // 3, 2)
+
+    # -- Location / Census snowflake ---------------------------------------
+    loc_zip = rng.integers(0, n_zips, n_locations)
+    loc_values = {
+        "rgn_cd": rng.integers(1, 9, n_locations).astype(float),
+        "clim_zn_nbr": rng.integers(1, 6, n_locations).astype(float),
+        "tot_area_sq_ft": rng.uniform(30_000, 220_000, n_locations),
+        "sell_area_sq_ft": rng.uniform(20_000, 180_000, n_locations),
+        "avghhi": rng.uniform(30_000, 140_000, n_locations),
+        "supertargetdistance": rng.uniform(0.5, 40, n_locations),
+        "supertargetdrivetime": rng.uniform(2, 60, n_locations),
+        "targetdistance": rng.uniform(0.5, 30, n_locations),
+        "targetdrivetime": rng.uniform(2, 45, n_locations),
+        "walmartdistance": rng.uniform(0.2, 25, n_locations),
+        "walmartdrivetime": rng.uniform(1, 40, n_locations),
+        "walmartsupercenterdistance": rng.uniform(0.2, 35, n_locations),
+    }
+    location = Relation.from_rows(
+        RelationSchema.of(
+            "Location",
+            [("locn", INT), ("zip", INT)]
+            + [(f, REAL) for f in LOCATION_FEATURES],
+        ),
+        [
+            (l, int(loc_zip[l])) + tuple(round(float(loc_values[f][l]), 3) for f in LOCATION_FEATURES)
+            for l in range(n_locations)
+        ],
+    )
+
+    population = rng.uniform(5_000, 90_000, n_zips)
+    census_values = {
+        "population": population,
+        "white": population * rng.uniform(0.4, 0.8, n_zips),
+        "asian": population * rng.uniform(0.01, 0.2, n_zips),
+        "pacific": population * rng.uniform(0.001, 0.02, n_zips),
+        "blackafrican": population * rng.uniform(0.05, 0.3, n_zips),
+        "medianage": rng.uniform(25, 48, n_zips),
+        "occupiedhouseunits": population * rng.uniform(0.3, 0.45, n_zips),
+        "houseunits": population * rng.uniform(0.35, 0.5, n_zips),
+        "families": population * rng.uniform(0.2, 0.3, n_zips),
+        "households": population * rng.uniform(0.3, 0.4, n_zips),
+        "husbwife": population * rng.uniform(0.15, 0.25, n_zips),
+        "males": population * rng.uniform(0.47, 0.52, n_zips),
+        "females": population * rng.uniform(0.48, 0.53, n_zips),
+        "householdschildren": population * rng.uniform(0.1, 0.2, n_zips),
+    }
+    census = Relation.from_rows(
+        RelationSchema.of(
+            "Census", [("zip", INT)] + [(f, REAL) for f in CENSUS_FEATURES]
+        ),
+        [
+            (z,) + tuple(round(float(census_values[f][z]), 2) for f in CENSUS_FEATURES)
+            for z in range(n_zips)
+        ],
+    )
+
+    item_price = rng.uniform(1, 80, n_items)
+    item = Relation.from_rows(
+        RelationSchema.of(
+            "Item", [("ksn", INT)] + [(f, REAL) for f in ITEM_FEATURES]
+        ),
+        [
+            (
+                k,
+                round(float(item_price[k]), 2),
+                float(rng.integers(1, 60)),
+                float(rng.integers(1, 9)),
+            )
+            for k in range(n_items)
+        ],
+    )
+
+    weather_vals = {
+        "rain": rng.random((n_dates, n_locations)) < 0.25,
+        "snow": rng.random((n_dates, n_locations)) < 0.05,
+        "maxtemp": rng.uniform(30, 95, (n_dates, n_locations)),
+        "mintemp": rng.uniform(10, 60, (n_dates, n_locations)),
+        "meanwind": rng.uniform(0, 25, (n_dates, n_locations)),
+    }
+    weather = Relation.from_rows(
+        RelationSchema.of(
+            "Weather",
+            [("locn", INT), ("dateid", INT)] + [(f, REAL) for f in WEATHER_FEATURES],
+        ),
+        [
+            (l, d) + tuple(round(float(weather_vals[f][d, l]), 3) for f in WEATHER_FEATURES)
+            for d in range(n_dates)
+            for l in range(n_locations)
+        ],
+    )
+
+    # -- Inventory facts with planted signal --------------------------------
+    test_start = int(n_dates * 0.8)
+    dates = rng.integers(0, n_dates, n_facts)
+    locs = rng.integers(0, n_locations, n_facts)
+    ksns = rng.integers(0, n_items, n_facts)
+    noise = rng.normal(0, 2.0, n_facts)
+    units = (
+        8.0
+        + 0.00004 * loc_values["avghhi"][locs]
+        + 0.00005 * population[loc_zip[locs]]
+        - 0.06 * item_price[ksns]
+        + 1.2 * weather_vals["rain"][dates, locs]
+        + 0.02 * weather_vals["maxtemp"][dates, locs]
+        + noise
+    )
+    units = np.maximum(units, 0.0)
+
+    schema = RelationSchema.of(
+        "Inventory",
+        [("locn", INT), ("dateid", INT), ("ksn", INT), ("inventoryunits", REAL)],
+    )
+    all_rows = [
+        (int(locs[i]), int(dates[i]), int(ksns[i]), round(float(units[i]), 3))
+        for i in range(n_facts)
+    ]
+    train_rows = [r for r in all_rows if r[1] < test_start]
+    test_rows = [r for r in all_rows if r[1] >= test_start]
+    if not test_rows:
+        cut = max(len(all_rows) * 4 // 5, 1)
+        train_rows, test_rows = all_rows[:cut], all_rows[cut:]
+
+    dims = [location, census, item, weather]
+    db = Database.of(Relation.from_rows(schema, train_rows), *dims)
+    test_db = Database.of(Relation.from_rows(schema, test_rows), *dims)
+
+    return DatasetBundle(
+        name=f"Retailer(scale={scale:g})",
+        db=db,
+        test_db=test_db,
+        query=JoinQuery(RELATIONS),
+        features=list(FEATURES),
+        label=LABEL,
+    )

@@ -1,0 +1,60 @@
+"""CSV import/export for relations.
+
+Columns are parsed according to the relation schema's attribute types:
+int/real attributes become Python numbers, everything else stays a
+string.  Exports write a header row with the attribute names.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from repro.db.relation import Relation
+from repro.db.schema import RelationSchema
+from repro.ir.types import IntType, RealType, Type
+
+
+def _parse_cell(raw: str, attr_type: Type) -> Any:
+    if isinstance(attr_type, IntType):
+        return int(raw)
+    if isinstance(attr_type, RealType):
+        return float(raw)
+    return raw
+
+
+def load_csv(path: str | Path, schema: RelationSchema, has_header: bool = True) -> Relation:
+    """Load a relation from a CSV file using the schema's column order."""
+    names = schema.attribute_names()
+    types = [schema.attribute_type(n) for n in names]
+    rows = []
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        if has_header:
+            header = next(reader)
+            if tuple(h.strip() for h in header) != names:
+                raise ValueError(
+                    f"CSV header {header} does not match schema attributes {names}"
+                )
+        for raw_row in reader:
+            if not raw_row:
+                continue
+            if len(raw_row) != len(names):
+                raise ValueError(
+                    f"CSV row has {len(raw_row)} cells, expected {len(names)}: {raw_row}"
+                )
+            rows.append(tuple(_parse_cell(c, t) for c, t in zip(raw_row, types)))
+    return Relation.from_rows(schema, rows)
+
+
+def save_csv(relation: Relation, path: str | Path) -> None:
+    """Write a relation to CSV (multiplicities expand to repeated rows)."""
+    names = relation.schema.attribute_names()
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(names)
+        for rec, mult in relation.data.items():
+            row = [rec[n] for n in names]
+            for _ in range(mult):
+                writer.writerow(row)

@@ -1,0 +1,61 @@
+"""The database: a named collection of relations plus statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.db.relation import Relation
+from repro.db.schema import DatabaseSchema
+from repro.runtime.values import DictValue
+
+
+@dataclass
+class Database:
+    """A set of relations addressable by name.
+
+    ``to_env`` exposes the database as an interpreter environment, so
+    IFAQ programs refer to relations as free variables (the paper's
+    ``S``, ``R``, ``I`` in Example 3.1).
+    """
+
+    relations: dict[str, Relation] = field(default_factory=dict)
+
+    @staticmethod
+    def of(*relations: Relation) -> "Database":
+        return Database({r.name: r for r in relations})
+
+    def add(self, relation: Relation) -> None:
+        self.relations[relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise KeyError(
+                f"database has no relation {name!r}; "
+                f"available: {sorted(self.relations)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self.relations.values())
+
+    def schema(self) -> DatabaseSchema:
+        return DatabaseSchema(tuple(r.schema for r in self.relations.values()))
+
+    def to_env(self) -> dict[str, DictValue]:
+        """Interpreter environment binding each relation name to its value."""
+        return {name: rel.to_value() for name, rel in self.relations.items()}
+
+    def statistics(self) -> Mapping[str, int]:
+        """Cardinality statistics used by the loop-scheduling cost model."""
+        return {name: rel.tuple_count() for name, rel in self.relations.items()}
+
+    def total_tuples(self) -> int:
+        return sum(r.tuple_count() for r in self.relations.values())
+
+    def estimated_size_bytes(self) -> int:
+        return sum(r.estimated_size_bytes() for r in self.relations.values())

@@ -1,0 +1,147 @@
+"""Join queries and their materializing evaluator.
+
+:class:`JoinQuery` describes a natural join of database relations with
+an optional projection — the feature-extraction query that defines the
+training dataset ``Q``.  :func:`materialize_join` evaluates it the way
+the mainstream pipeline does (hash joins producing the full training
+dataset); the aggregate optimizer exists to *avoid* this, but the
+materialized result is the oracle all factorized evaluation is checked
+against, and the substrate for the scikit/TensorFlow-style baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+from repro.db.relation import Relation
+from repro.db.schema import DatabaseSchema, RelationSchema
+from repro.ir.builders import product
+from repro.ir.expr import Cmp, DictLit, Dom, Expr, FieldAccess, Lookup, RecordLit, Sum, Var
+from repro.runtime.values import RecordValue
+
+
+@dataclass(frozen=True)
+class JoinQuery:
+    """A natural join over ``relations``, projected onto ``output_attrs``.
+
+    With ``output_attrs = ()`` the output keeps every attribute (the
+    usual learning setup: all features plus the label).
+    """
+
+    relations: tuple[str, ...]
+    output_attrs: tuple[str, ...] = ()
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        if self.output_attrs:
+            return self.output_attrs
+        seen: dict[str, None] = {}
+        for rel_name in self.relations:
+            for attr in schema.relation(rel_name).attribute_names():
+                seen.setdefault(attr, None)
+        return tuple(seen)
+
+    def join_attributes(self, schema: DatabaseSchema) -> dict[tuple[str, str], tuple[str, ...]]:
+        """The join-graph edges restricted to this query's relations."""
+        graph = schema.join_graph()
+        wanted = set(self.relations)
+        return {
+            (a, b): attrs
+            for (a, b), attrs in graph.items()
+            if a in wanted and b in wanted
+        }
+
+
+def materialize_join(db: Database, query: JoinQuery) -> Relation:
+    """Hash-join all query relations and project the output attributes.
+
+    Joins are performed left-to-right in the order the query lists its
+    relations, always joining on the shared attributes with the
+    accumulated result (natural-join semantics).  Multiplicities
+    multiply, as bag semantics requires.
+    """
+    if not query.relations:
+        raise ValueError("query must reference at least one relation")
+
+    current = db.relation(query.relations[0])
+    for rel_name in query.relations[1:]:
+        current = _hash_join(current, db.relation(rel_name))
+
+    out_attrs = query.output_attributes(db.schema())
+    keep = [a for a in current.schema.attribute_names() if a in out_attrs]
+    result = current.project(keep)
+    renamed = RelationSchema("Q", result.schema.attributes)
+    return Relation(renamed, result.data)
+
+
+def _hash_join(left: Relation, right: Relation) -> Relation:
+    shared = [
+        n for n in left.schema.attribute_names()
+        if right.schema.has_attribute(n)
+    ]
+    left_names = left.schema.attribute_names()
+    right_only = [n for n in right.schema.attribute_names() if n not in shared]
+
+    index: dict[tuple, list[tuple[RecordValue, int]]] = {}
+    for rec, mult in right.data.items():
+        key = tuple(rec[a] for a in shared)
+        index.setdefault(key, []).append((rec, mult))
+
+    out_schema = RelationSchema(
+        f"({left.schema.name}⋈{right.schema.name})",
+        tuple(left.schema.attributes)
+        + tuple(a for a in right.schema.attributes if a.name in right_only),
+    )
+    data: dict[RecordValue, int] = {}
+    for lrec, lmult in left.data.items():
+        key = tuple(lrec[a] for a in shared)
+        for rrec, rmult in index.get(key, ()):
+            combined = dict(zip(left_names, (lrec[n] for n in left_names)))
+            for n in right_only:
+                combined[n] = rrec[n]
+            out = RecordValue(combined)
+            data[out] = data.get(out, 0) + lmult * rmult
+    return Relation(out_schema, data)
+
+
+def join_as_ifaq(db_schema: DatabaseSchema, query: JoinQuery) -> Expr:
+    """The S-IFAQ expression that materializes ``Q`` (Example 4.7).
+
+    Produces nested summations over the input relations with equality
+    indicators for the join conditions::
+
+        Σ_{xs∈dom(S)} Σ_{xr∈dom(R)} ... {{k → S(xs)*R(xr)*...*(xs.i==xr.i)}}
+    """
+    rel_vars = {name: f"x_{name.lower()}" for name in query.relations}
+    out_attrs = query.output_attributes(db_schema)
+
+    # Which relation provides each output attribute (first occurrence wins).
+    provider: dict[str, tuple[str, str]] = {}
+    for rel_name in query.relations:
+        for attr in db_schema.relation(rel_name).attribute_names():
+            provider.setdefault(attr, (rel_vars[rel_name], attr))
+
+    key_record = RecordLit(
+        tuple(
+            (attr, FieldAccess(Var(provider[attr][0]), provider[attr][1]))
+            for attr in out_attrs
+        )
+    )
+
+    factors: list[Expr] = [
+        Lookup(Var(rel_name), Var(rel_vars[rel_name])) for rel_name in query.relations
+    ]
+    for (a, b), attrs in sorted(query.join_attributes(db_schema).items()):
+        for attr in attrs:
+            factors.append(
+                Cmp(
+                    "==",
+                    FieldAccess(Var(rel_vars[a]), attr),
+                    FieldAccess(Var(rel_vars[b]), attr),
+                )
+            )
+
+    body: Expr = DictLit(((key_record, product(factors)),))
+    for rel_name in reversed(query.relations):
+        body = Sum(rel_vars[rel_name], Dom(Var(rel_name)), body)
+    return body

@@ -1,0 +1,104 @@
+"""Relational schemas for the IFAQ database substrate.
+
+A :class:`RelationSchema` is an ordered list of typed attributes; a
+:class:`DatabaseSchema` names a set of relation schemas and can derive
+the join graph (which attributes are shared between which relations),
+which the aggregate optimizer turns into a join tree (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.types import DYN, RecordType, Type, relation_type
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed relation attribute."""
+
+    name: str
+    type: Type = DYN
+
+    def __repr__(self) -> str:
+        return f"{self.name}: {self.type!r}"
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """An ordered attribute list for one relation."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+
+    @staticmethod
+    def of(name: str, attrs: dict[str, Type] | list[tuple[str, Type]]) -> "RelationSchema":
+        items = attrs.items() if isinstance(attrs, dict) else attrs
+        return RelationSchema(name, tuple(Attribute(n, t) for n, t in items))
+
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def has_attribute(self, name: str) -> bool:
+        return any(a.name == name for a in self.attributes)
+
+    def attribute_type(self, name: str) -> Type:
+        for a in self.attributes:
+            if a.name == name:
+                return a.type
+        raise KeyError(f"relation {self.name!r} has no attribute {name!r}")
+
+    def tuple_type(self) -> RecordType:
+        """The record type of one tuple of this relation."""
+        return RecordType(tuple((a.name, a.type) for a in self.attributes))
+
+    def ifaq_type(self):
+        """The S-IFAQ type of the relation: ``Map[{...}, int]``."""
+        return relation_type(tuple((a.name, a.type) for a in self.attributes))
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+
+@dataclass(frozen=True)
+class DatabaseSchema:
+    """A collection of relation schemas with a derivable join graph."""
+
+    relations: tuple[RelationSchema, ...] = field(default=())
+
+    def relation(self, name: str) -> RelationSchema:
+        for r in self.relations:
+            if r.name == name:
+                return r
+        raise KeyError(f"no relation named {name!r}")
+
+    def relation_names(self) -> tuple[str, ...]:
+        return tuple(r.name for r in self.relations)
+
+    def shared_attributes(self, a: str, b: str) -> tuple[str, ...]:
+        """Attributes common to relations ``a`` and ``b`` (natural-join keys)."""
+        names_a = set(self.relation(a).attribute_names())
+        return tuple(n for n in self.relation(b).attribute_names() if n in names_a)
+
+    def join_graph(self) -> dict[tuple[str, str], tuple[str, ...]]:
+        """Edges ``(rel_a, rel_b) → shared attrs`` over all relation pairs.
+
+        Only pairs with at least one shared attribute appear; each
+        unordered pair appears once with names sorted.
+        """
+        edges: dict[tuple[str, str], tuple[str, ...]] = {}
+        names = self.relation_names()
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                shared = self.shared_attributes(a, b)
+                if shared:
+                    edges[(a, b)] = shared
+        return edges
+
+    def all_attribute_names(self) -> tuple[str, ...]:
+        """Distinct attribute names across all relations, in first-seen order."""
+        seen: dict[str, None] = {}
+        for r in self.relations:
+            for a in r.attributes:
+                seen.setdefault(a.name, None)
+        return tuple(seen)

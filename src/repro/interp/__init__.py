@@ -1,0 +1,5 @@
+"""Reference interpreter — the semantic oracle for all compiler passes."""
+
+from repro.interp.interpreter import EvalError, EvalStats, Interpreter, evaluate, run_program
+
+__all__ = ["EvalError", "EvalStats", "Interpreter", "evaluate", "run_program"]

@@ -1,0 +1,52 @@
+"""IFAQ core intermediate representation (paper Figure 2).
+
+Exports the expression AST, the type system, traversal utilities, the
+builder DSL and the pretty printer.
+"""
+
+from repro.ir.expr import (
+    Add,
+    BinOp,
+    Cmp,
+    Const,
+    DictBuild,
+    DictLit,
+    Dom,
+    DynFieldAccess,
+    Expr,
+    FieldAccess,
+    FieldLit,
+    If,
+    Let,
+    Lookup,
+    Mul,
+    Neg,
+    RecordLit,
+    SetLit,
+    Sum,
+    UnaryOp,
+    Var,
+    VariantLit,
+)
+from repro.ir.program import Program, straight_line
+from repro.ir.traversal import (
+    children,
+    count_nodes,
+    free_vars,
+    fresh_name,
+    rebuild_exact,
+    subexpressions,
+    substitute,
+    transform_bottom_up,
+    transform_top_down,
+)
+
+__all__ = [
+    "Add", "BinOp", "Cmp", "Const", "DictBuild", "DictLit", "Dom",
+    "DynFieldAccess", "Expr", "FieldAccess", "FieldLit", "If", "Let",
+    "Lookup", "Mul", "Neg", "RecordLit", "SetLit", "Sum", "UnaryOp",
+    "Var", "VariantLit",
+    "Program", "straight_line",
+    "children", "count_nodes", "free_vars", "fresh_name", "rebuild_exact",
+    "subexpressions", "substitute", "transform_bottom_up", "transform_top_down",
+]

@@ -1,0 +1,161 @@
+"""Convenience constructors for writing IFAQ programs in Python.
+
+These helpers make D-IFAQ programs in tests and in :mod:`repro.ml.programs`
+read close to the paper's notation, e.g.::
+
+    sum_over('x', dom(V('Q')), V('Q')(V('x')) * V('x').at(V('f')))
+
+is ``Σ_{x ∈ dom(Q)} Q(x) * x[f]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.ir.expr import (
+    BinOp,
+    Cmp,
+    Const,
+    DictBuild,
+    DictLit,
+    Dom,
+    Expr,
+    FieldLit,
+    If,
+    Let,
+    Mul,
+    RecordLit,
+    SetLit,
+    Sum,
+    UnaryOp,
+    Var,
+    VariantLit,
+    _as_expr,
+)
+
+
+def V(name: str) -> Var:
+    """A variable reference."""
+    return Var(name)
+
+
+def C(value) -> Const:
+    """A scalar constant."""
+    return Const(value)
+
+
+def fld(name: str) -> FieldLit:
+    """A field literal ``‘name‘``."""
+    return FieldLit(name)
+
+
+def fields(*names: str) -> SetLit:
+    """The set literal ``[[‘a‘, ‘b‘, ...]]`` of field names."""
+    return SetLit(tuple(FieldLit(n) for n in names))
+
+
+def sum_over(var: str, domain: Expr, body) -> Sum:
+    """``Σ_{var ∈ domain} body``."""
+    return Sum(var, domain, _as_expr(body))
+
+
+def dict_build(var: str, domain: Expr, body) -> DictBuild:
+    """``λ_{var ∈ domain} body``."""
+    return DictBuild(var, domain, _as_expr(body))
+
+
+def dict_lit(*entries: tuple) -> DictLit:
+    """``{{k1 → v1, ...}}`` from (key, value) pairs."""
+    return DictLit(tuple((_as_expr(k), _as_expr(v)) for k, v in entries))
+
+
+def set_lit(*elems) -> SetLit:
+    """``[[e1, ..., en]]``."""
+    return SetLit(tuple(_as_expr(e) for e in elems))
+
+
+def dom(e: Expr) -> Dom:
+    """``dom(e)``."""
+    return Dom(e)
+
+
+def rec(**field_exprs) -> RecordLit:
+    """A record literal ``{name = expr, ...}`` (keyword-argument form)."""
+    return RecordLit(tuple((name, _as_expr(e)) for name, e in field_exprs.items()))
+
+
+def record(pairs: Iterable[tuple[str, Expr]]) -> RecordLit:
+    """A record literal from explicit (name, expr) pairs.
+
+    Unlike :func:`rec`, allows field names that are not valid Python
+    identifiers (e.g. generated aggregate names like ``m_c_p``).
+    """
+    return RecordLit(tuple((name, _as_expr(e)) for name, e in pairs))
+
+
+def variant(tag: str, value) -> VariantLit:
+    """A variant ``<tag = value>``."""
+    return VariantLit(tag, _as_expr(value))
+
+
+def let(var: str, value, body) -> Let:
+    """``let var = value in body``."""
+    return Let(var, _as_expr(value), _as_expr(body))
+
+
+def let_star(bindings: Sequence[tuple[str, Expr]], body: Expr) -> Expr:
+    """Nested lets: ``let x1 = e1 in ... let xn = en in body``."""
+    result = body
+    for name, value in reversed(list(bindings)):
+        result = Let(name, value, result)
+    return result
+
+
+def if_(cond, then_branch, else_branch) -> If:
+    """``if cond then e1 else e2``."""
+    return If(_as_expr(cond), _as_expr(then_branch), _as_expr(else_branch))
+
+
+def cmp(op: str, left, right) -> Cmp:
+    """A comparison indicator (evaluates to 0/1 inside ring arithmetic)."""
+    return Cmp(op, _as_expr(left), _as_expr(right))
+
+
+def eq(left, right) -> Cmp:
+    return cmp("==", left, right)
+
+
+def div(left, right) -> BinOp:
+    return BinOp("div", _as_expr(left), _as_expr(right))
+
+
+def sq(e) -> Expr:
+    """``e * e`` — squaring, used in loss/variance expressions."""
+    e = _as_expr(e)
+    return Mul(e, e)
+
+
+def not_(e) -> UnaryOp:
+    return UnaryOp("not", _as_expr(e))
+
+
+def product(factors: Sequence[Expr]) -> Expr:
+    """Left-nested product of ``factors`` (``1`` if empty)."""
+    factors = list(factors)
+    if not factors:
+        return Const(1)
+    result = factors[0]
+    for f in factors[1:]:
+        result = Mul(result, f)
+    return result
+
+
+def add_all(terms: Sequence[Expr]) -> Expr:
+    """Left-nested sum of ``terms`` (``0`` if empty)."""
+    terms = list(terms)
+    if not terms:
+        return Const(0)
+    result = terms[0]
+    for t in terms[1:]:
+        result = result + t
+    return result

@@ -1,0 +1,281 @@
+"""Expression AST of the IFAQ core language (paper Figure 2).
+
+All nodes are immutable frozen dataclasses.  Structural equality and
+hashing are derived, which the optimizer relies on for common
+subexpression detection and memoization tables.
+
+The binder-introducing nodes are :class:`Sum` (``Σ_{x∈e1} e2``),
+:class:`DictBuild` (``λ_{x∈e1} e2``) and :class:`Let`; their bound
+variable scopes only over ``body``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.ir.types import DYN, Type
+
+#: Python payloads allowed inside :class:`Const`.
+ConstValue = Union[int, float, bool, str]
+
+
+class Expr:
+    """Base class of all IFAQ expressions."""
+
+    __slots__ = ()
+
+    # Operator sugar so tests and program builders read like the paper.
+    def __add__(self, other: "Expr") -> "Expr":
+        return Add(self, _as_expr(other))
+
+    def __radd__(self, other) -> "Expr":
+        return Add(_as_expr(other), self)
+
+    def __mul__(self, other) -> "Expr":
+        return Mul(self, _as_expr(other))
+
+    def __rmul__(self, other) -> "Expr":
+        return Mul(_as_expr(other), self)
+
+    def __sub__(self, other) -> "Expr":
+        return Add(self, Neg(_as_expr(other)))
+
+    def __rsub__(self, other) -> "Expr":
+        return Add(_as_expr(other), Neg(self))
+
+    def __neg__(self) -> "Expr":
+        return Neg(self)
+
+    def dot(self, name: str) -> "Expr":
+        """Static field access ``self.name`` (grammar: ``e.x``)."""
+        return FieldAccess(self, name)
+
+    def at(self, key: "Expr") -> "Expr":
+        """Dynamic field access ``self[key]`` (grammar: ``e[e]``)."""
+        return DynFieldAccess(self, _as_expr(key))
+
+    def __call__(self, key: "Expr") -> "Expr":
+        """Dictionary lookup ``self(key)`` (grammar: ``e(e)``)."""
+        return Lookup(self, _as_expr(key))
+
+    def eq(self, other) -> "Expr":
+        return Cmp("==", self, _as_expr(other))
+
+
+def _as_expr(v) -> Expr:
+    if isinstance(v, Expr):
+        return v
+    if isinstance(v, (bool, int, float, str)):
+        return Const(v)
+    raise TypeError(f"cannot coerce {v!r} into an IFAQ expression")
+
+
+@dataclass(frozen=True, eq=True)
+class Const(Expr):
+    """A literal: number, boolean, or string (grammar ``c``)."""
+
+    value: ConstValue
+    type: Type = DYN
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+@dataclass(frozen=True, eq=True)
+class FieldLit(Expr):
+    """A field-name literal ``‘id‘`` — a first-class value of type Field."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"FieldLit({self.name!r})"
+
+
+@dataclass(frozen=True, eq=True)
+class Var(Expr):
+    """A variable reference."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+@dataclass(frozen=True, eq=True)
+class Add(Expr):
+    """Ring addition ``e + e`` (numbers, records, dictionaries, sets)."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, eq=True)
+class Mul(Expr):
+    """Ring multiplication ``e * e`` (scalar scaling of collections)."""
+
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, eq=True)
+class Neg(Expr):
+    """Additive inverse ``-e``."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True, eq=True)
+class UnaryOp(Expr):
+    """A named unary operation ``uop(e)`` (not, abs, sqrt, log, exp, sign)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True, eq=True)
+class BinOp(Expr):
+    """A named binary operation ``e bop e`` (div, pow, min, max, and, or)."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, eq=True)
+class Cmp(Expr):
+    """A comparison producing a boolean (``==, !=, <, <=, >, >=, in``).
+
+    Comparisons are multiplied into ring expressions as 0/1 indicators;
+    the join condition ``(xs.i == xi.i)`` in Example 4.7 is a `Cmp`.
+    """
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True, eq=True)
+class Sum(Expr):
+    """``Σ_{var ∈ domain} body`` — iterate a collection, fold with ring ``+``.
+
+    ``domain`` may be a set (iterating elements) or a dictionary
+    (iterating keys — identical to ``Σ_{x ∈ dom(d)}``).  The fold uses
+    the monoid addition of the body's type, so a `Sum` may produce a
+    number, a record, a dictionary, or a set.
+    """
+
+    var: str
+    domain: Expr
+    body: Expr
+
+
+@dataclass(frozen=True, eq=True)
+class DictBuild(Expr):
+    """``λ_{var ∈ domain} body`` — build a dictionary keyed by ``domain``.
+
+    For each element ``k`` of ``domain`` the result maps ``k`` to
+    ``body[var := k]``.
+    """
+
+    var: str
+    domain: Expr
+    body: Expr
+
+
+@dataclass(frozen=True, eq=True)
+class DictLit(Expr):
+    """A dictionary literal ``{{k1 → v1, ..., kn → vn}}``."""
+
+    entries: tuple[tuple[Expr, Expr], ...]
+
+
+@dataclass(frozen=True, eq=True)
+class SetLit(Expr):
+    """An ordered-set literal ``[[e1, ..., en]]``."""
+
+    elems: tuple[Expr, ...]
+
+
+@dataclass(frozen=True, eq=True)
+class Dom(Expr):
+    """``dom(e)`` — the key set of a dictionary."""
+
+    operand: Expr
+
+
+@dataclass(frozen=True, eq=True)
+class Lookup(Expr):
+    """``e0(e1)`` — the value associated with key ``e1`` in dict ``e0``.
+
+    Missing keys yield the ring zero (bag semantics: multiplicity 0).
+    """
+
+    dict_expr: Expr
+    key: Expr
+
+
+@dataclass(frozen=True, eq=True)
+class RecordLit(Expr):
+    """A record constructor ``{x1 = e1, ..., xn = en}``."""
+
+    fields: tuple[tuple[str, Expr], ...]
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+    def field_expr(self, name: str) -> Expr:
+        for fname, fexpr in self.fields:
+            if fname == name:
+                return fexpr
+        raise KeyError(f"record literal has no field {name!r}")
+
+
+@dataclass(frozen=True, eq=True)
+class VariantLit(Expr):
+    """A variant constructor ``<x = e>`` — a partial record."""
+
+    tag: str
+    value: Expr
+
+
+@dataclass(frozen=True, eq=True)
+class FieldAccess(Expr):
+    """Static field access ``e.x`` on a record or variant."""
+
+    record: Expr
+    name: str
+
+
+@dataclass(frozen=True, eq=True)
+class DynFieldAccess(Expr):
+    """Dynamic field access ``e[e]`` — the key is computed at runtime.
+
+    Schema specialization rewrites ``e1[‘f‘]`` into ``e1.f``
+    (Figure 4g, first rule).
+    """
+
+    record: Expr
+    key: Expr
+
+
+@dataclass(frozen=True, eq=True)
+class Let(Expr):
+    """``let var = value in body``."""
+
+    var: str
+    value: Expr
+    body: Expr
+
+
+@dataclass(frozen=True, eq=True)
+class If(Expr):
+    """``if cond then then_branch else else_branch``."""
+
+    cond: Expr
+    then_branch: Expr
+    else_branch: Expr
+
+
+#: Nodes that introduce a bound variable scoping over their last child.
+BINDERS = (Sum, DictBuild, Let)

@@ -1,0 +1,118 @@
+"""Pretty printer for IFAQ expressions and programs.
+
+The output mirrors the paper's notation as closely as plain text
+allows: ``Σ{x ∈ e1} e2`` for summation, ``λ{x ∈ e1} e2`` for dictionary
+construction, ``{{k → v}}`` for dictionary literals and ``[[a, b]]``
+for sets.  Used by error messages, ``--dump-ir`` style debugging and
+the compiler's per-stage artifacts.
+"""
+
+from __future__ import annotations
+
+from repro.ir.expr import (
+    Add,
+    BinOp,
+    Cmp,
+    Const,
+    DictBuild,
+    DictLit,
+    Dom,
+    DynFieldAccess,
+    Expr,
+    FieldAccess,
+    FieldLit,
+    If,
+    Let,
+    Lookup,
+    Mul,
+    Neg,
+    RecordLit,
+    SetLit,
+    Sum,
+    UnaryOp,
+    Var,
+    VariantLit,
+)
+from repro.ir.program import Program
+
+_BINOP_SYMBOLS = {"div": "/", "pow": "^", "min": "min", "max": "max", "and": "&&", "or": "||"}
+
+
+def pretty(e: Expr, indent: int = 0) -> str:
+    """Render ``e`` as a single-line (nested) string."""
+    return _pp(e)
+
+
+def _pp(e: Expr) -> str:
+    if isinstance(e, Const):
+        return repr(e.value) if isinstance(e.value, str) else str(e.value)
+    if isinstance(e, FieldLit):
+        return f"'{e.name}'"
+    if isinstance(e, Var):
+        return e.name
+    if isinstance(e, Add):
+        right = _pp(e.right)
+        if isinstance(e.right, Neg):
+            return f"({_pp(e.left)} - {_pp(e.right.operand)})"
+        return f"({_pp(e.left)} + {right})"
+    if isinstance(e, Mul):
+        return f"{_pp_atom(e.left)} * {_pp_atom(e.right)}"
+    if isinstance(e, Neg):
+        return f"-{_pp_atom(e.operand)}"
+    if isinstance(e, UnaryOp):
+        return f"{e.op}({_pp(e.operand)})"
+    if isinstance(e, BinOp):
+        sym = _BINOP_SYMBOLS.get(e.op, e.op)
+        if sym.isalpha():
+            return f"{sym}({_pp(e.left)}, {_pp(e.right)})"
+        return f"({_pp(e.left)} {sym} {_pp(e.right)})"
+    if isinstance(e, Cmp):
+        return f"({_pp(e.left)} {e.op} {_pp(e.right)})"
+    if isinstance(e, Sum):
+        return f"Σ{{{e.var} ∈ {_pp(e.domain)}}} {_pp_atom(e.body)}"
+    if isinstance(e, DictBuild):
+        return f"λ{{{e.var} ∈ {_pp(e.domain)}}} {_pp_atom(e.body)}"
+    if isinstance(e, DictLit):
+        inner = ", ".join(f"{_pp(k)} → {_pp(v)}" for k, v in e.entries)
+        return "{{" + inner + "}}"
+    if isinstance(e, SetLit):
+        return "[[" + ", ".join(_pp(x) for x in e.elems) + "]]"
+    if isinstance(e, Dom):
+        return f"dom({_pp(e.operand)})"
+    if isinstance(e, Lookup):
+        return f"{_pp_atom(e.dict_expr)}({_pp(e.key)})"
+    if isinstance(e, RecordLit):
+        inner = ", ".join(f"{n} = {_pp(v)}" for n, v in e.fields)
+        return "{" + inner + "}"
+    if isinstance(e, VariantLit):
+        return f"<{e.tag} = {_pp(e.value)}>"
+    if isinstance(e, FieldAccess):
+        return f"{_pp_atom(e.record)}.{e.name}"
+    if isinstance(e, DynFieldAccess):
+        return f"{_pp_atom(e.record)}[{_pp(e.key)}]"
+    if isinstance(e, Let):
+        return f"let {e.var} = {_pp(e.value)} in {_pp(e.body)}"
+    if isinstance(e, If):
+        return f"if {_pp(e.cond)} then {_pp(e.then_branch)} else {_pp(e.else_branch)}"
+    raise TypeError(f"unknown expression node: {type(e).__name__}")
+
+
+def _pp_atom(e: Expr) -> str:
+    """Parenthesize low-precedence forms when used as an operand."""
+    s = _pp(e)
+    if isinstance(e, (Sum, DictBuild, Let, If)):
+        return f"({s})"
+    return s
+
+
+def pretty_program(p: Program) -> str:
+    """Multi-line rendering of a top-level program."""
+    lines = []
+    for name, value in p.inits:
+        lines.append(f"let {name} = {_pp(value)} in")
+    lines.append(f"{p.state} ← {_pp(p.init)}")
+    lines.append(f"while ({_pp(p.cond)}) {{")
+    lines.append(f"  {p.state} ← {_pp(p.body)}")
+    lines.append("}")
+    lines.append(p.state)
+    return "\n".join(lines)

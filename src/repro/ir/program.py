@@ -1,0 +1,75 @@
+"""Top-level IFAQ programs (paper Figure 2, production ``p``).
+
+A program is a sequence of let-style initializations followed by an
+iterative loop over a single piece of state::
+
+    p ::= e  |  x ← e ; while (e) { x ← e } ; x
+
+This shape is exactly what batch gradient descent needs: the state is
+the parameter dictionary ``θ``, the condition tests convergence, and
+the body produces the next parameter value.  Loop-invariant code motion
+(Figure 4e, second rule) hoists lets out of the loop body into the
+initialization section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.ir.expr import Expr, Let, Var
+from repro.ir.traversal import free_vars
+
+
+@dataclass(frozen=True)
+class Program:
+    """``inits; state ← init; while (cond) { state ← body }; state``.
+
+    ``inits`` are ordered ``(name, expr)`` bindings visible to everything
+    after them.  ``cond`` and ``body`` may refer to ``state`` and to any
+    init.  The program's value is the final state.
+
+    A non-iterative program (grammar production ``p ::= e``) is encoded
+    with ``cond = Const(False)`` so the loop never runs and the value is
+    ``init``; :func:`straight_line` builds this.
+    """
+
+    inits: tuple[tuple[str, Expr], ...]
+    state: str
+    init: Expr
+    cond: Expr
+    body: Expr
+
+    def with_inits(self, inits: tuple[tuple[str, Expr], ...]) -> "Program":
+        return replace(self, inits=inits)
+
+    def free_vars(self) -> frozenset[str]:
+        """Variables the program needs from its environment (relations)."""
+        bound: set[str] = set()
+        result: set[str] = set()
+        for name, e in self.inits:
+            result |= free_vars(e) - bound
+            bound.add(name)
+        result |= free_vars(self.init) - bound
+        bound.add(self.state)
+        result |= free_vars(self.cond) - bound
+        result |= free_vars(self.body) - bound
+        return frozenset(result)
+
+    def as_expr(self) -> Expr:
+        """The loop-free part of the program as one nested-let expression.
+
+        Useful for passes (and tests) that operate on plain expressions:
+        wraps ``init`` in the ``inits`` bindings.  The loop itself is not
+        expressible as a core expression, by design.
+        """
+        result: Expr = self.init
+        for name, value in reversed(self.inits):
+            result = Let(name, value, result)
+        return result
+
+
+def straight_line(e: Expr, state: str = "__result") -> Program:
+    """Wrap a plain expression as a degenerate (non-looping) program."""
+    from repro.ir.expr import Const
+
+    return Program(inits=(), state=state, init=e, cond=Const(False), body=Var(state))

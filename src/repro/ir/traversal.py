@@ -1,0 +1,276 @@
+"""Generic traversal, reconstruction and substitution for IFAQ ASTs.
+
+These helpers are the backbone of every optimization pass: rules only
+have to say what happens at the node they care about, and the rewriter
+uses :func:`children` / :func:`rebuild` to walk the rest of the tree.
+Substitution is capture-avoiding; binders are alpha-renamed on demand
+via :func:`fresh_name`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator
+
+from repro.ir.expr import (
+    Add,
+    BinOp,
+    Cmp,
+    Const,
+    DictBuild,
+    DictLit,
+    Dom,
+    DynFieldAccess,
+    Expr,
+    FieldAccess,
+    FieldLit,
+    If,
+    Let,
+    Lookup,
+    Mul,
+    Neg,
+    RecordLit,
+    SetLit,
+    Sum,
+    UnaryOp,
+    Var,
+    VariantLit,
+)
+
+_counter = itertools.count()
+
+
+def fresh_name(hint: str, avoid: Iterable[str] = ()) -> str:
+    """A new variable name derived from ``hint`` not present in ``avoid``."""
+    avoid = set(avoid)
+    candidate = f"{hint}_{next(_counter)}"
+    while candidate in avoid:
+        candidate = f"{hint}_{next(_counter)}"
+    return candidate
+
+
+def children(e: Expr) -> tuple[Expr, ...]:
+    """The direct sub-expressions of ``e`` in a canonical order."""
+    if isinstance(e, (Const, FieldLit, Var)):
+        return ()
+    if isinstance(e, (Add, Mul)):
+        return (e.left, e.right)
+    if isinstance(e, (Neg, Dom, UnaryOp)):
+        return (e.operand,)
+    if isinstance(e, (BinOp, Cmp)):
+        return (e.left, e.right)
+    if isinstance(e, (Sum, DictBuild)):
+        return (e.domain, e.body)
+    if isinstance(e, DictLit):
+        return tuple(x for kv in e.entries for x in kv)
+    if isinstance(e, SetLit):
+        return e.elems
+    if isinstance(e, Lookup):
+        return (e.dict_expr, e.key)
+    if isinstance(e, RecordLit):
+        return tuple(fe for _, fe in e.fields)
+    if isinstance(e, VariantLit):
+        return (e.value,)
+    if isinstance(e, FieldAccess):
+        return (e.record,)
+    if isinstance(e, DynFieldAccess):
+        return (e.record, e.key)
+    if isinstance(e, Let):
+        return (e.value, e.body)
+    if isinstance(e, If):
+        return (e.cond, e.then_branch, e.else_branch)
+    raise TypeError(f"unknown expression node: {type(e).__name__}")
+
+
+def rebuild(e: Expr, new_children: tuple[Expr, ...]) -> Expr:
+    """Reconstruct ``e`` with replaced children (same order as `children`)."""
+    if isinstance(e, (Const, FieldLit, Var)):
+        assert not new_children
+        return e
+    if isinstance(e, Add):
+        return Add(*new_children)
+    if isinstance(e, Mul):
+        return Mul(*new_children)
+    if isinstance(e, Neg):
+        return Neg(new_children[0])
+    if isinstance(e, Dom):
+        return Dom(new_children[0])
+    if isinstance(e, UnaryOp):
+        return UnaryOp(e.op, new_children[0])
+    if isinstance(e, BinOp):
+        return BinOp(e.op, *new_children)
+    if isinstance(e, Cmp):
+        return Cmp(e.op, *new_children)
+    if isinstance(e, Sum):
+        return Sum(e.var, new_children[0], new_children[1])
+    if isinstance(e, DictBuild):
+        return DictBuild(e.var, new_children[0], new_children[1])
+    if isinstance(e, DictLit):
+        it = iter(new_children)
+        return DictLit(tuple((k, next(it)) for k in it))
+    if isinstance(e, SetLit):
+        return SetLit(tuple(new_children))
+    if isinstance(e, Lookup):
+        return Lookup(*new_children)
+    if isinstance(e, RecordLit):
+        names = e.field_names()
+        return RecordLit(tuple(zip(names, new_children)))
+    if isinstance(e, VariantLit):
+        return VariantLit(e.tag, new_children[0])
+    if isinstance(e, FieldAccess):
+        return FieldAccess(new_children[0], e.name)
+    if isinstance(e, DynFieldAccess):
+        return DynFieldAccess(*new_children)
+    if isinstance(e, Let):
+        return Let(e.var, new_children[0], new_children[1])
+    if isinstance(e, If):
+        return If(*new_children)
+    raise TypeError(f"unknown expression node: {type(e).__name__}")
+
+
+def _dictlit_rebuild_pairs(e: DictLit, flat: tuple[Expr, ...]) -> DictLit:
+    pairs = []
+    for i in range(0, len(flat), 2):
+        pairs.append((flat[i], flat[i + 1]))
+    return DictLit(tuple(pairs))
+
+
+# DictLit's children/rebuild above interleave keys and values; rebuild
+# needs the flat list re-paired, so specialize it here.
+def rebuild_exact(e: Expr, new_children: tuple[Expr, ...]) -> Expr:
+    if isinstance(e, DictLit):
+        return _dictlit_rebuild_pairs(e, new_children)
+    return rebuild(e, new_children)
+
+
+def subexpressions(e: Expr) -> Iterator[Expr]:
+    """All sub-expressions of ``e`` (pre-order, including ``e`` itself)."""
+    stack = [e]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(children(node)))
+
+
+def count_nodes(e: Expr) -> int:
+    """Number of AST nodes in ``e`` (used as a rewrite-size guard)."""
+    return sum(1 for _ in subexpressions(e))
+
+
+def bound_var(e: Expr) -> str | None:
+    """The variable bound by ``e``, if ``e`` is a binder node."""
+    if isinstance(e, (Sum, DictBuild, Let)):
+        return e.var
+    return None
+
+
+def free_vars(e: Expr) -> frozenset[str]:
+    """The free variables of ``e`` (paper notation ``fvs(e)``)."""
+    if isinstance(e, Var):
+        return frozenset({e.name})
+    if isinstance(e, (Const, FieldLit)):
+        return frozenset()
+    if isinstance(e, (Sum, DictBuild)):
+        return free_vars(e.domain) | (free_vars(e.body) - {e.var})
+    if isinstance(e, Let):
+        return free_vars(e.value) | (free_vars(e.body) - {e.var})
+    result: frozenset[str] = frozenset()
+    for c in children(e):
+        result |= free_vars(c)
+    return result
+
+
+def all_var_names(e: Expr) -> frozenset[str]:
+    """Every variable name occurring in ``e``, bound or free."""
+    names: set[str] = set()
+    for node in subexpressions(e):
+        if isinstance(node, Var):
+            names.add(node.name)
+        bv = bound_var(node)
+        if bv is not None:
+            names.add(bv)
+    return frozenset(names)
+
+
+def rename_binder(e: Expr, new_name: str) -> Expr:
+    """Alpha-rename the binder node ``e`` to bind ``new_name``."""
+    if isinstance(e, Sum):
+        return Sum(new_name, e.domain, substitute(e.body, e.var, Var(new_name)))
+    if isinstance(e, DictBuild):
+        return DictBuild(new_name, e.domain, substitute(e.body, e.var, Var(new_name)))
+    if isinstance(e, Let):
+        return Let(new_name, e.value, substitute(e.body, e.var, Var(new_name)))
+    raise TypeError(f"not a binder: {type(e).__name__}")
+
+
+def substitute(e: Expr, name: str, replacement: Expr) -> Expr:
+    """Capture-avoiding substitution ``e[name := replacement]``."""
+    if isinstance(e, Var):
+        return replacement if e.name == name else e
+    if isinstance(e, (Const, FieldLit)):
+        return e
+
+    if isinstance(e, (Sum, DictBuild)):
+        domain = substitute(e.domain, name, replacement)
+        var, body = e.var, e.body
+        if var != name:
+            if var in free_vars(replacement) and name in free_vars(body):
+                new_var = fresh_name(var, free_vars(replacement) | free_vars(body))
+                body = substitute(body, var, Var(new_var))
+                var = new_var
+            body = substitute(body, name, replacement)
+        node_ctor = Sum if isinstance(e, Sum) else DictBuild
+        return node_ctor(var, domain, body)
+
+    if isinstance(e, Let):
+        value = substitute(e.value, name, replacement)
+        var, body = e.var, e.body
+        if var != name:
+            if var in free_vars(replacement) and name in free_vars(body):
+                new_var = fresh_name(var, free_vars(replacement) | free_vars(body))
+                body = substitute(body, var, Var(new_var))
+                var = new_var
+            body = substitute(body, name, replacement)
+        return Let(var, value, body)
+
+    new_children = tuple(substitute(c, name, replacement) for c in children(e))
+    return rebuild_exact(e, new_children)
+
+
+def transform_bottom_up(e: Expr, f: Callable[[Expr], Expr]) -> Expr:
+    """Apply ``f`` to every node, children first."""
+    new_children = tuple(transform_bottom_up(c, f) for c in children(e))
+    return f(rebuild_exact(e, new_children))
+
+
+def transform_top_down(e: Expr, f: Callable[[Expr], Expr]) -> Expr:
+    """Apply ``f`` to every node, parents first.
+
+    ``f`` is re-applied to its own output's children, so a rule that
+    produces new redexes below itself still gets them visited.
+    """
+    e = f(e)
+    new_children = tuple(transform_top_down(c, f) for c in children(e))
+    return rebuild_exact(e, new_children)
+
+
+def contains(e: Expr, needle: Expr) -> bool:
+    """Structural containment test."""
+    return any(node == needle for node in subexpressions(e))
+
+
+def replace_subexpr(e: Expr, needle: Expr, replacement: Expr) -> Expr:
+    """Replace every structural occurrence of ``needle`` in ``e``.
+
+    Purely structural (no scope awareness): callers must ensure the
+    replacement is scope-correct, which holds for the memoization pass
+    where the needle's free variables stay bound by the same binders.
+    """
+
+    def visit(node: Expr) -> Expr:
+        if node == needle:
+            return replacement
+        new_children = tuple(visit(c) for c in children(node))
+        return rebuild_exact(node, new_children)
+
+    return visit(e)

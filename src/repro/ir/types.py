@@ -1,0 +1,223 @@
+"""Type system of the IFAQ core language (paper Figure 2, right column).
+
+The grammar distinguishes scalar types ``S`` (numeric ``B`` and
+categorical ``C``), record and variant types, and collection types
+(dictionaries and sets).  D-IFAQ programs are dynamically typed and use
+:data:`DYN` wherever a static type is unknown; schema specialization
+(Section 4.2) refines ``DYN`` into concrete S-IFAQ types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Type:
+    """Base class of all IFAQ types.
+
+    Types are immutable and compared structurally.  Concrete subclasses
+    are frozen dataclasses, so equality and hashing come for free.
+    """
+
+    def is_numeric(self) -> bool:
+        return False
+
+    def is_categorical(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class DynType(Type):
+    """The unknown type used by the dynamically-typed D-IFAQ layer."""
+
+    def __repr__(self) -> str:
+        return "dyn"
+
+
+#: Singleton instance of the dynamic type.
+DYN = DynType()
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """Machine integers (``Z`` in the grammar)."""
+
+    def is_numeric(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class RealType(Type):
+    """Real numbers (``R`` in the grammar)."""
+
+    def is_numeric(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "real"
+
+
+@dataclass(frozen=True)
+class BoolType(Type):
+    """Booleans.  Categorical in the grammar; usable as 0/1 in rings."""
+
+    def is_categorical(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "bool"
+
+
+@dataclass(frozen=True)
+class StringType(Type):
+    """Strings (categorical)."""
+
+    def is_categorical(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "string"
+
+
+@dataclass(frozen=True)
+class FieldType(Type):
+    """The type of field names themselves (``Field`` in the grammar).
+
+    Field values are first-class in D-IFAQ: the feature set
+    ``F = [['i', 's', 'c', 'p']]`` is a set of *fields*, and dynamic
+    accesses ``x[f]`` index records by field values.  Schema
+    specialization eliminates this type entirely.
+    """
+
+    def is_categorical(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "field"
+
+
+@dataclass(frozen=True)
+class EnumType(Type):
+    """A custom finite categorical type with a named domain."""
+
+    name: str
+    values: tuple[str, ...] = ()
+
+    def is_categorical(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"enum<{self.name}>"
+
+
+@dataclass(frozen=True)
+class OneHotType(Type):
+    """One-hot encoding ``R^n_T`` of a categorical type ``T``.
+
+    A value of this type is an array of ``dim`` reals, one per element
+    of the domain of ``base``.  Unlike an indicator vector, arbitrary
+    reals are allowed at each position (the paper uses this for the
+    parameters associated with a categorical feature).
+    """
+
+    dim: int
+    base: Type
+
+    def is_numeric(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"R^{self.dim}[{self.base!r}]"
+
+
+@dataclass(frozen=True)
+class RecordType(Type):
+    """A record ``{x1: T1, ..., xn: Tn}`` with named, ordered fields."""
+
+    fields: tuple[tuple[str, Type], ...] = field(default=())
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.fields)
+
+    def field_type(self, name: str) -> Type:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        raise KeyError(f"record type has no field {name!r}: {self!r}")
+
+    def has_field(self, name: str) -> bool:
+        return any(fname == name for fname, _ in self.fields)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}: {t!r}" for n, t in self.fields)
+        return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class VariantType(Type):
+    """A variant ``<x1: T1, ..., xn: Tn>`` — a partial record.
+
+    A variant value carries exactly one of the declared fields.
+    """
+
+    fields: tuple[tuple[str, Type], ...] = field(default=())
+
+    def field_type(self, name: str) -> Type:
+        for fname, ftype in self.fields:
+            if fname == name:
+                return ftype
+        raise KeyError(f"variant type has no field {name!r}: {self!r}")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{n}: {t!r}" for n, t in self.fields)
+        return "<" + inner + ">"
+
+
+@dataclass(frozen=True)
+class DictType(Type):
+    """A dictionary ``Map[K, V]``.
+
+    Database relations are dictionaries from tuple-records to integer
+    multiplicities (bag semantics).
+    """
+
+    key: Type
+    value: Type
+
+    def __repr__(self) -> str:
+        return f"Map[{self.key!r}, {self.value!r}]"
+
+
+@dataclass(frozen=True)
+class SetType(Type):
+    """An (ordered) set ``Set[T]``."""
+
+    elem: Type
+
+    def __repr__(self) -> str:
+        return f"Set[{self.elem!r}]"
+
+
+#: Convenience singletons mirroring the grammar's base types.
+INT = IntType()
+REAL = RealType()
+BOOL = BoolType()
+STRING = StringType()
+FIELD = FieldType()
+
+
+def relation_type(schema: tuple[tuple[str, Type], ...]) -> DictType:
+    """The S-IFAQ type of a relation with the given attribute schema.
+
+    Relations map tuples (records over the schema) to their integer
+    multiplicity, i.e. ``Map[{a1: T1, ...}, int]``.
+    """
+    return DictType(RecordType(tuple(schema)), INT)
+
+
+def is_collection(t: Type) -> bool:
+    """True for dictionary and set types (the ``x̄`` variables)."""
+    return isinstance(t, (DictType, SetType))

@@ -1,0 +1,23 @@
+"""Machine learning over factorized joins, plus materialize-then-learn
+baselines (paper Sections 3 and 5)."""
+
+from repro.ml.baselines import (
+    BaselineRegressionTree,
+    MLPackStyleLinearRegression,
+    OutOfMemoryError,
+    ScikitStyleLinearRegression,
+    TensorFlowStyleLinearRegression,
+    materialize_to_matrix,
+    relation_to_matrix,
+)
+from repro.ml.linear_regression import IFAQLinearRegression, closed_form_solution
+from repro.ml.metrics import rmse, rmse_on_relation
+from repro.ml.regression_tree import Condition, IFAQRegressionTree, TreeNode
+
+__all__ = [
+    "BaselineRegressionTree", "Condition", "IFAQLinearRegression",
+    "IFAQRegressionTree", "MLPackStyleLinearRegression", "OutOfMemoryError",
+    "ScikitStyleLinearRegression", "TensorFlowStyleLinearRegression",
+    "TreeNode", "closed_form_solution", "materialize_to_matrix",
+    "relation_to_matrix", "rmse", "rmse_on_relation",
+]

@@ -1,0 +1,229 @@
+"""Linear regression over factorized joins (paper Sections 3 and 5).
+
+:class:`IFAQLinearRegression` trains with batch gradient descent whose
+data-intensive kernel — the non-centred covariance matrix — is computed
+*directly over the input database* by the factorized aggregate engines
+or the generated kernels, never materializing the join.  The BGD
+iterations then run over the (features+2)² covar matrix, so the number
+of iterations has negligible cost (the Figure 6 observation).
+
+``fit_via_compiler`` instead pushes the full D-IFAQ program through
+:class:`repro.compiler.IFAQCompiler`; it produces the same model and
+exists so tests can pin the two paths together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Mapping, Sequence
+
+import numpy as np
+
+from repro.aggregates.batch import AggregateSpec, covar_batch
+from repro.aggregates.engine import (
+    compute_batch_materialized,
+    compute_batch_merged,
+    compute_batch_pushdown,
+    compute_batch_trie,
+)
+from repro.aggregates.join_tree import build_join_tree
+from repro.backend.codegen_cpp import generate_cpp_kernel, write_binary_data
+from repro.backend.codegen_python import generate_python_kernel
+from repro.backend.compile_cpp import compile_kernel, gxx_available
+from repro.backend.layout import LAYOUT_SORTED, LayoutOptions
+from repro.backend.plan import build_batch_plan, prepare_data
+from repro.db.database import Database
+from repro.db.query import JoinQuery
+from repro.ml.programs import linear_regression_bgd
+
+
+@dataclass
+class IFAQLinearRegression:
+    """BGD linear regression trained factorized, in-database.
+
+    Parameters mirror the paper's setup: ``iterations`` of batch
+    gradient descent at learning rate ``alpha`` over all continuous
+    features plus an intercept.  Features are standardized internally
+    using moments drawn from the covar batch itself (zero extra passes
+    over the data); coefficients are reported in the original scale.
+    """
+
+    features: Sequence[str]
+    label: str
+    iterations: int = 50
+    alpha: float = 0.1
+    aggregate_mode: Literal["materialized", "pushdown", "merged", "trie"] = "trie"
+    backend: Literal["engine", "python", "cpp"] = "python"
+    layout: LayoutOptions = field(default_factory=lambda: LAYOUT_SORTED)
+    tolerance: float = 1e-10
+
+    #: learned parameters: intercept first, then one per feature
+    theta_: np.ndarray | None = None
+    covar_: dict[str, float] | None = None
+    converged_iterations_: int = 0
+
+    # -- covar computation -------------------------------------------------
+
+    def compute_covar(self, db: Database, query: JoinQuery) -> dict[str, float]:
+        """The covar batch over the join, by the configured strategy."""
+        batch = covar_batch(list(self.features), label=self.label)
+        if self.aggregate_mode == "materialized":
+            return compute_batch_materialized(db, query, batch)
+        tree = build_join_tree(db.schema(), query.relations, stats=dict(db.statistics()))
+        if self.backend == "engine":
+            engine = {
+                "pushdown": compute_batch_pushdown,
+                "merged": compute_batch_merged,
+                "trie": compute_batch_trie,
+            }[self.aggregate_mode]
+            return engine(db, tree, batch)
+        plan = build_batch_plan(db, tree, batch)
+        if self.backend == "cpp" and gxx_available():
+            import tempfile
+            from pathlib import Path
+
+            kernel = compile_kernel(generate_cpp_kernel(plan, self.layout))
+            with tempfile.TemporaryDirectory() as tmp:
+                data_path = Path(tmp) / "data.bin"
+                write_binary_data(db, plan, data_path, self.layout)
+                _, values = kernel.run(data_path)
+        else:
+            fn = generate_python_kernel(plan, self.layout).compile()
+            values = fn(prepare_data(db, plan, self.layout))
+        return {spec.name: values[i] for i, spec in enumerate(batch)}
+
+    # -- training ------------------------------------------------------------
+
+    def fit(self, db: Database, query: JoinQuery) -> "IFAQLinearRegression":
+        self.covar_ = self.compute_covar(db, query)
+        self.theta_ = self._solve_bgd(self.covar_)
+        return self
+
+    def _moment(self, covar: Mapping[str, float], *attrs: str) -> float:
+        return covar[AggregateSpec.of(*attrs).name]
+
+    def _normal_equations(self, covar: Mapping[str, float]) -> tuple[np.ndarray, np.ndarray, float]:
+        """Extended covar matrix ``M`` and correlation vector ``c``.
+
+        Column 0 is the intercept: ``M[0,0] = |Q|``, ``M[0,j] = Σ x_fj``.
+        """
+        cols = [None] + list(self.features)  # None is the intercept
+        d = len(cols)
+        m = np.zeros((d, d))
+        c = np.zeros(d)
+        n = self._moment(covar)
+        for i, fi in enumerate(cols):
+            for j, fj in enumerate(cols):
+                attrs = [a for a in (fi, fj) if a is not None]
+                m[i, j] = self._moment(covar, *attrs)
+            attrs_c = ([fi] if fi is not None else []) + [self.label]
+            c[i] = self._moment(covar, *attrs_c)
+        return m, c, n
+
+    def _solve_bgd(self, covar: Mapping[str, float]) -> np.ndarray:
+        """BGD over the covar matrix with internal standardization."""
+        m, c, n = self._normal_equations(covar)
+        d = m.shape[0]
+        if n <= 0:
+            raise ValueError("empty training dataset")
+
+        # Standardize: x̃ = (x − μ)/σ using moments from the batch.
+        mu = m[0, 1:] / n
+        var = np.maximum(np.diag(m)[1:] / n - mu**2, 0.0)
+        sigma = np.sqrt(var)
+        sigma[sigma == 0.0] = 1.0
+
+        # Moments of the standardized design matrix, derived algebraically
+        # from the raw moments (no pass over the data).
+        ms = np.zeros_like(m)
+        cs = np.zeros_like(c)
+        ms[0, 0] = n
+        for i in range(1, d):
+            ms[0, i] = ms[i, 0] = (m[0, i] - n * mu[i - 1]) / sigma[i - 1]
+            cs[i] = (c[i] - mu[i - 1] * c[0]) / sigma[i - 1]
+        cs[0] = c[0]
+        for i in range(1, d):
+            for j in range(1, d):
+                ms[i, j] = (
+                    m[i, j]
+                    - mu[j - 1] * m[0, i]
+                    - mu[i - 1] * m[0, j]
+                    + n * mu[i - 1] * mu[j - 1]
+                ) / (sigma[i - 1] * sigma[j - 1])
+
+        # Safe step size: the least-squares gradient map has Lipschitz
+        # constant λ_max(Ms/n); any step below 2/λ_max converges.  The
+        # eigenvalue comes from the (d×d) covar matrix itself — no pass
+        # over the data — so ``alpha`` is a fraction of the safe step.
+        lam_max = float(np.linalg.eigvalsh(ms / n)[-1])
+        step = self.alpha / max(lam_max, 1e-12)
+
+        theta = np.zeros(d)
+        self.converged_iterations_ = self.iterations
+        for it in range(self.iterations):
+            gradient = (ms @ theta - cs) / n
+            theta = theta - step * gradient
+            if float(np.linalg.norm(gradient)) < self.tolerance:
+                self.converged_iterations_ = it + 1
+                break
+
+        # Map back to the original feature scale.
+        out = np.zeros(d)
+        out[1:] = theta[1:] / sigma
+        out[0] = theta[0] - float(np.sum(theta[1:] * mu / sigma))
+        return out
+
+    # -- inference -------------------------------------------------------------
+
+    def predict(self, record: Mapping[str, float]) -> float:
+        if self.theta_ is None:
+            raise RuntimeError("model is not fitted")
+        value = float(self.theta_[0])
+        for i, f in enumerate(self.features):
+            value += float(self.theta_[i + 1]) * record[f]
+        return value
+
+    def predict_many(self, x: np.ndarray) -> np.ndarray:
+        """Predictions for a design matrix in ``self.features`` order."""
+        if self.theta_ is None:
+            raise RuntimeError("model is not fitted")
+        return self.theta_[0] + x @ self.theta_[1:]
+
+    # -- the full compiler path ---------------------------------------------
+
+    def fit_via_compiler(self, db: Database, query: JoinQuery) -> dict[str, float]:
+        """Run the complete D-IFAQ program through the IFAQ compiler.
+
+        Returns the raw θ dictionary produced by the residual program
+        (no standardization — pair with small ``alpha`` or pre-scaled
+        features).  Exists to pin the compiler path against :meth:`fit`.
+        """
+        from repro.compiler import IFAQCompiler
+
+        program = linear_regression_bgd(
+            db.schema(), query, list(self.features), self.label,
+            iterations=self.iterations, alpha=self.alpha,
+        )
+        compiler = IFAQCompiler(
+            db=db, query=query,
+            aggregate_mode=self.aggregate_mode if self.aggregate_mode != "materialized" else "trie",
+            backend="python" if self.backend == "engine" else self.backend,
+            layout=self.layout,
+        )
+        state = compiler.run(program)
+        theta = state["theta"]
+        return {name: theta[name] for name in theta.field_names()}
+
+
+def closed_form_solution(
+    covar: Mapping[str, float], features: Sequence[str], label: str
+) -> np.ndarray:
+    """Least-squares solution from the covar batch (normal equations).
+
+    The accuracy yardstick of Section 5: IFAQ's BGD should land within
+    1% RMSE of this.
+    """
+    model = IFAQLinearRegression(features=list(features), label=label)
+    m, c, _ = model._normal_equations(covar)
+    theta, *_ = np.linalg.lstsq(m, c, rcond=None)
+    return theta

@@ -1,0 +1,34 @@
+"""Evaluation metrics for the learned models."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.db.relation import Relation
+
+
+def rmse(predictions: Sequence[float], targets: Sequence[float]) -> float:
+    """Root-mean-square error."""
+    p = np.asarray(predictions, dtype=float)
+    t = np.asarray(targets, dtype=float)
+    if p.shape != t.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {t.shape}")
+    if p.size == 0:
+        raise ValueError("rmse of empty prediction set")
+    return float(np.sqrt(np.mean((p - t) ** 2)))
+
+
+def rmse_on_relation(
+    predict: Callable[[dict], float], relation: Relation, label: str
+) -> float:
+    """RMSE of a per-record prediction function over a relation."""
+    predictions: list[float] = []
+    targets: list[float] = []
+    for rec, mult in relation.data.items():
+        value = predict(dict(rec))
+        for _ in range(mult):
+            predictions.append(value)
+            targets.append(rec[label])
+    return rmse(predictions, targets)

@@ -1,0 +1,164 @@
+"""D-IFAQ program builders for the paper's learning tasks (Section 3).
+
+These functions produce exactly the programs a data scientist would
+write in the dynamically-typed front end: the feature-extraction query
+and the training loop, unoptimized.  The compiler layers do the rest.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.db.query import JoinQuery, join_as_ifaq
+from repro.db.schema import DatabaseSchema
+from repro.ir.builders import dict_lit, dom, fields, fld, sum_over, V
+from repro.ir.expr import (
+    BinOp,
+    Cmp,
+    Const,
+    DictBuild,
+    Expr,
+    Lookup,
+    Neg,
+    RecordLit,
+    Var,
+)
+from repro.ir.program import Program
+
+
+def linear_regression_bgd(
+    db_schema: DatabaseSchema,
+    query: JoinQuery,
+    feature_names: Sequence[str],
+    label: str,
+    iterations: int,
+    alpha: float = 0.001,
+    materialized_q: bool = False,
+) -> Program:
+    """Batch-gradient-descent linear regression as a D-IFAQ program.
+
+    Mirrors the program in Section 3::
+
+        let F = [[a1, ..., an]] in
+        θ ← θ0
+        while (not converged) {
+          θ = λ_{f1∈F} ( θ(f1) − (α/|Q|) Σ_{x∈dom(Q)} Q(x) *
+                         (Σ_{f2∈F} θ(f2)*x[f2] − x[label]) * x[f1] )
+        }
+        θ
+
+    The loop state is the record ``{theta, iter}`` so convergence can
+    be expressed as an iteration bound inside the core language.  ``Q``
+    is bound in the inits as the join query over the input relations —
+    the *unoptimized* program therefore materializes the join, exactly
+    like the mainstream pipeline, until the optimizer rewrites it.
+
+    With ``materialized_q=True`` the ``Q`` init is omitted and ``Q`` is
+    taken from the environment instead: the Figure 6 micro-benchmarks
+    supply a pre-materialized join and time it as its own bar, exactly
+    as the paper plots it.
+    """
+    if label in feature_names:
+        raise ValueError(f"label {label!r} cannot also be a feature")
+
+    q_expr = None if materialized_q else join_as_ifaq(db_schema, query)
+    count_expr = sum_over("x_cnt", dom(V("Q")), Lookup(V("Q"), V("x_cnt")))
+    scale_expr = BinOp("div", Const(alpha), V("n_Q"))
+
+    theta0 = dict_lit(*((fld(f), Const(0.0)) for f in feature_names))
+
+    theta = V("state").dot("theta")
+    x = V("x")
+
+    prediction_error = (
+        sum_over("f2", V("F"), Lookup(theta, V("f2")) * x.at(V("f2")))
+        + Neg(x.at(fld(label)))
+    )
+    gradient_f1 = sum_over(
+        "x",
+        dom(V("Q")),
+        Lookup(V("Q"), V("x")) * prediction_error * x.at(V("f1")),
+    )
+    update = DictBuild(
+        "f1",
+        V("F"),
+        Lookup(theta, V("f1")) + Neg(V("scale") * gradient_f1),
+    )
+
+    body = RecordLit(
+        (
+            ("theta", update),
+            ("iter", V("state").dot("iter") + Const(1)),
+        )
+    )
+
+    return Program(
+        inits=(
+            ("F", fields(*feature_names)),
+            *((("Q", q_expr),) if q_expr is not None else ()),
+            ("n_Q", count_expr),
+            ("scale", scale_expr),
+        ),
+        state="state",
+        init=RecordLit((("theta", theta0), ("iter", Const(0)))),
+        cond=Cmp("<", V("state").dot("iter"), Const(iterations)),
+        body=body,
+    )
+
+
+def linear_regression_inner_loop(
+    feature_names: Sequence[str],
+    q_var: str = "Q",
+    theta_var: str = "theta",
+) -> Expr:
+    """The simplified inner-loop expression of Example 3.1.
+
+    ``λ_{f1∈F}(θ(f1) − Σ_{x∈dom(Q)} Q(x) * (Σ_{f2∈F} θ(f2)*x[f2]) * x[f1])``
+    with ``α/|Q| = 1`` and the label term hidden, as in the paper's
+    running example.  Used by unit tests that follow Examples 4.1–4.5
+    step by step.
+    """
+    theta = Var(theta_var)
+    x = Var("x")
+    inner = sum_over("f2", V("F"), Lookup(theta, V("f2")) * x.at(V("f2")))
+    grad = sum_over("x", dom(Var(q_var)), Lookup(Var(q_var), V("x")) * inner * x.at(V("f1")))
+    return DictBuild("f1", V("F"), Lookup(theta, V("f1")) + Neg(grad))
+
+
+def covar_matrix_expr(feature_names: Sequence[str], q_var: str = "Q") -> Expr:
+    """The covar-matrix aggregate batch of Example 4.4/4.5::
+
+        λ_{f1∈F} λ_{f2∈F} Σ_{x∈dom(Q)} Q(x) * x[f1] * x[f2]
+
+    (with ``F`` inlined as a field-set literal).
+    """
+    x = Var("x")
+    body = sum_over(
+        "x",
+        dom(Var(q_var)),
+        Lookup(Var(q_var), V("x")) * x.at(V("f1")) * x.at(V("f2")),
+    )
+    return DictBuild("f1", fields(*feature_names), DictBuild("f2", fields(*feature_names), body))
+
+
+def regression_tree_cost_expr(
+    label: str,
+    q_var: str = "Q",
+    delta_var: str = "delta",
+) -> Expr:
+    """The CART variance cost of Section 3 for one candidate condition.
+
+    ``delta_var`` names a dictionary mapping tuples to 0/1 indicators of
+    the node's path conjunction δ′::
+
+        cost(Q, δ′) = Σ Q(x)·y²·δ′(x) − (Σ Q(x)·y·δ′(x))² / Σ Q(x)·δ′(x)
+    """
+    x = Var("x")
+    q = Var(q_var)
+    d = Var(delta_var)
+    y = x.at(fld(label))
+    weight = Lookup(q, V("x")) * Lookup(d, V("x"))
+    sum_sq = sum_over("x", dom(q), weight * y * y)
+    sum_y = sum_over("x", dom(q), weight * y)
+    sum_1 = sum_over("x", dom(q), weight)
+    return sum_sq + Neg(BinOp("div", sum_y * sum_y, sum_1))

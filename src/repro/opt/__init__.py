@@ -1,0 +1,26 @@
+"""High-level optimizations on D-IFAQ (paper Section 4.1 / Figure 4)."""
+
+from repro.opt.cardinality import CardinalityEstimator
+from repro.opt.factorization import FACTORIZATION_RULES
+from repro.opt.generic import AGGRESSIVE_GENERIC_RULES, GENERIC_RULES
+from repro.opt.licm import LICM_RULES, hoist_loop_invariants
+from repro.opt.loop_scheduling import make_loop_scheduling_rule
+from repro.opt.memoization import apply_static_memoization
+from repro.opt.normalization import NORMALIZATION_RULES
+from repro.opt.pipeline import HighLevelOptimizer, high_level_optimize
+from repro.opt.rewriter import (
+    RewriteBudgetExceeded,
+    RewriteLog,
+    Rule,
+    rewrite_fixpoint,
+    rewrite_once,
+    rule,
+)
+
+__all__ = [
+    "AGGRESSIVE_GENERIC_RULES", "CardinalityEstimator", "FACTORIZATION_RULES",
+    "GENERIC_RULES", "HighLevelOptimizer", "LICM_RULES", "NORMALIZATION_RULES",
+    "RewriteBudgetExceeded", "RewriteLog", "Rule", "apply_static_memoization",
+    "high_level_optimize", "hoist_loop_invariants", "make_loop_scheduling_rule",
+    "rewrite_fixpoint", "rewrite_once", "rule",
+]

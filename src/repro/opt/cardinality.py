@@ -1,0 +1,66 @@
+"""Cardinality estimation for the loop-scheduling cost model (Fig. 4b).
+
+Loop scheduling reorders nested summations so the outer loop iterates
+over the smaller collection.  Deciding "smaller" needs sizes:
+
+* set literals have an exact static size,
+* ``dom(R)`` for a relation variable ``R`` uses database statistics,
+* everything else is unknown (treated as very large).
+
+The estimator is deliberately simple — the paper assumes the join order
+"is given as input" and uses standard optimizer statistics; what
+matters here is distinguishing tiny static field sets from data-sized
+domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.ir.expr import Dom, Expr, SetLit, Var
+
+#: Size assumed for unknown domains — larger than any static field set.
+UNKNOWN_LARGE = 10**12
+
+
+@dataclass
+class CardinalityEstimator:
+    """Estimates iteration-domain sizes from static shape and statistics.
+
+    ``stats`` maps variable names (relations, materialized views) to
+    their tuple counts; ``let_sizes`` is filled in by passes that know
+    the sizes of let-bound collections (e.g. the feature set ``F``).
+    """
+
+    stats: Mapping[str, int] = field(default_factory=dict)
+    let_sizes: dict[str, int] = field(default_factory=dict)
+
+    def estimate(self, domain: Expr) -> Optional[int]:
+        """Estimated element count of ``domain``, or None if unknown."""
+        if isinstance(domain, SetLit):
+            return len(domain.elems)
+        if isinstance(domain, Dom):
+            return self.estimate(domain.operand)
+        if isinstance(domain, Var):
+            if domain.name in self.let_sizes:
+                return self.let_sizes[domain.name]
+            if domain.name in self.stats:
+                return self.stats[domain.name]
+        return None
+
+    def estimate_or_large(self, domain: Expr) -> int:
+        est = self.estimate(domain)
+        return UNKNOWN_LARGE if est is None else est
+
+    def is_static_domain(self, domain: Expr) -> bool:
+        """Is this a statically-known finite domain (Fig. 4d side condition)?
+
+        Static domains are set literals or variables let-bound to set
+        literals — the feature set ``F`` is the canonical case.
+        """
+        if isinstance(domain, SetLit):
+            return True
+        if isinstance(domain, Var):
+            return domain.name in self.let_sizes
+        return False

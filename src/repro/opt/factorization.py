@@ -1,0 +1,95 @@
+"""Factorization rules (paper Figure 4c).
+
+The inverse of distribution, applied where it saves work:
+
+* ``e1*e2 + e1*e3 → e1*(e2 + e3)`` — collect a common factor,
+* ``Σ_{x∈e2}(e1*e3) → e1 * Σ_{x∈e2} e3`` if ``x ∉ fvs(e1)`` — hoist
+  loop-independent factors out of a summation.
+
+Products are treated as flattened factor lists, so a factor buried in
+``a * b * c`` is found regardless of association order.  The ring
+multiplication is commutative for all value domains IFAQ uses, which is
+what licenses the reordering (paper footnote 1: "ring-based operations").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.expr import Add, Expr, Mul, Sum
+from repro.ir.traversal import free_vars
+from repro.opt.rewriter import rule
+
+
+def flatten_product(e: Expr) -> list[Expr]:
+    """The maximal factor list of a nested multiplication.
+
+    A negation contributes a literal ``-1`` factor, so signs do not
+    block factor matching or hoisting.
+    """
+    from repro.ir.expr import Const, Neg
+
+    if isinstance(e, Mul):
+        return flatten_product(e.left) + flatten_product(e.right)
+    if isinstance(e, Neg):
+        return [Const(-1)] + flatten_product(e.operand)
+    return [e]
+
+
+def build_product(factors: list[Expr]) -> Expr:
+    """Rebuild a left-nested product; empty products are the literal 1."""
+    from repro.ir.expr import Const
+
+    if not factors:
+        return Const(1)
+    result = factors[0]
+    for f in factors[1:]:
+        result = Mul(result, f)
+    return result
+
+
+@rule("factorize/common-factor-in-add")
+def factor_common_add(e: Expr) -> Optional[Expr]:
+    """``e1*e2 + e1*e3 → e1*(e2+e3)`` with factor-list matching."""
+    if not isinstance(e, Add):
+        return None
+    left_factors = flatten_product(e.left)
+    right_factors = flatten_product(e.right)
+    if len(left_factors) < 2 and len(right_factors) < 2:
+        return None
+    for i, f in enumerate(left_factors):
+        if f in right_factors:
+            remaining_left = left_factors[:i] + left_factors[i + 1:]
+            j = right_factors.index(f)
+            remaining_right = right_factors[:j] + right_factors[j + 1:]
+            if not remaining_left or not remaining_right:
+                continue
+            return Mul(
+                f,
+                Add(build_product(remaining_left), build_product(remaining_right)),
+            )
+    return None
+
+
+@rule("factorize/hoist-from-sum")
+def hoist_from_sum(e: Expr) -> Optional[Expr]:
+    """``Σ_{x∈d}(e1*e3) → e1 * Σ_{x∈d} e3`` for every x-independent factor."""
+    if not isinstance(e, Sum):
+        return None
+    factors = flatten_product(e.body)
+    if len(factors) < 2:
+        return None
+    independent = [f for f in factors if e.var not in free_vars(f)]
+    dependent = [f for f in factors if e.var in free_vars(f)]
+    if not independent or not dependent:
+        return None
+    return Mul(
+        build_product(independent),
+        Sum(e.var, e.domain, build_product(dependent)),
+    )
+
+
+FACTORIZATION_RULES = (
+    factor_common_add,
+    hoist_from_sum,
+)

@@ -1,0 +1,144 @@
+"""Generic cleanup rules (paper Figure 4i) plus constant folding.
+
+* inline ``let``s whose value is trivial or used at most once,
+* drop dead ``let``s,
+* flatten ``let``-of-``let``,
+* unify syntactically identical adjacent ``let``s (local CSE),
+* fold constants and algebraic identities (``e*1``, ``e+0``, ``e*0``).
+
+These run between the structural passes to keep expressions small; they
+are deliberately conservative (inlining never duplicates non-trivial
+work into more than one use site).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.expr import Add, Const, Expr, FieldLit, Let, Mul, Neg, Var
+from repro.ir.traversal import free_vars, substitute
+from repro.opt.rewriter import rule
+
+
+def _use_count(body: Expr, name: str) -> int:
+    count = 0
+    stack = [(body, False)]
+    # Scope-aware count: stop at binders that shadow `name`.
+    from repro.ir.traversal import bound_var, children
+
+    def visit(e: Expr) -> None:
+        nonlocal count
+        if isinstance(e, Var):
+            if e.name == name:
+                count += 1
+            return
+        bv = bound_var(e)
+        if bv == name:
+            # The domain/value child is still in our scope.
+            first_child = children(e)[0]
+            visit(first_child)
+            return
+        for c in children(e):
+            visit(c)
+
+    visit(body)
+    return count
+
+
+@rule("generic/inline-trivial-let")
+def inline_trivial_let(e: Expr) -> Optional[Expr]:
+    """``let x = v in body → body[x := v]`` for variable/constant values."""
+    if isinstance(e, Let) and isinstance(e.value, (Var, Const, FieldLit)):
+        return substitute(e.body, e.var, e.value)
+    return None
+
+
+@rule("generic/dead-let")
+def dead_let(e: Expr) -> Optional[Expr]:
+    """``let x = e0 in e1 → e1`` when ``x ∉ fvs(e1)``."""
+    if isinstance(e, Let) and e.var not in free_vars(e.body):
+        return e.body
+    return None
+
+
+@rule("generic/inline-single-use-let")
+def inline_single_use_let(e: Expr) -> Optional[Expr]:
+    """Inline a let whose variable occurs exactly once in the body."""
+    if not isinstance(e, Let):
+        return None
+    if _use_count(e.body, e.var) == 1:
+        return substitute(e.body, e.var, e.value)
+    return None
+
+
+@rule("generic/flatten-let")
+def flatten_let(e: Expr) -> Optional[Expr]:
+    """``let x = (let y = e0 in e1) in e2 → let y = e0 in let x = e1 in e2``."""
+    if not (isinstance(e, Let) and isinstance(e.value, Let)):
+        return None
+    inner = e.value
+    if inner.var in free_vars(e.body) or inner.var == e.var:
+        from repro.ir.traversal import fresh_name
+
+        new_var = fresh_name(inner.var, free_vars(e.body) | free_vars(inner.body) | {e.var})
+        renamed_body = substitute(inner.body, inner.var, Var(new_var))
+        return Let(new_var, inner.value, Let(e.var, renamed_body, e.body))
+    return Let(inner.var, inner.value, Let(e.var, inner.body, e.body))
+
+
+@rule("generic/cse-adjacent-lets")
+def cse_adjacent_lets(e: Expr) -> Optional[Expr]:
+    """``let x = e0 in let y = e0 in Γ(x,y) → let x = e0 in Γ(x,x)``."""
+    if not (isinstance(e, Let) and isinstance(e.body, Let)):
+        return None
+    inner = e.body
+    if inner.value == e.value and e.var != inner.var:
+        return Let(e.var, e.value, substitute(inner.body, inner.var, Var(e.var)))
+    return None
+
+
+@rule("generic/fold-constants")
+def fold_constants(e: Expr) -> Optional[Expr]:
+    """Arithmetic on literals and the usual ring identities."""
+    if isinstance(e, Add):
+        lv = e.left.value if isinstance(e.left, Const) else None
+        rv = e.right.value if isinstance(e.right, Const) else None
+        if lv is not None and rv is not None and _numeric(lv) and _numeric(rv):
+            return Const(lv + rv)
+        if lv == 0:
+            return e.right
+        if rv == 0:
+            return e.left
+    if isinstance(e, Mul):
+        lv = e.left.value if isinstance(e.left, Const) else None
+        rv = e.right.value if isinstance(e.right, Const) else None
+        if lv is not None and rv is not None and _numeric(lv) and _numeric(rv):
+            return Const(lv * rv)
+        if lv == 1:
+            return e.right
+        if rv == 1:
+            return e.left
+        if lv == 0 or rv == 0:
+            return Const(0)
+    if isinstance(e, Neg) and isinstance(e.operand, Const) and _numeric(e.operand.value):
+        return Const(-e.operand.value)
+    if isinstance(e, Neg) and isinstance(e.operand, Neg):
+        return e.operand.operand
+    return None
+
+
+def _numeric(v) -> bool:
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+GENERIC_RULES = (
+    inline_trivial_let,
+    dead_let,
+    flatten_let,
+    cse_adjacent_lets,
+    fold_constants,
+)
+
+#: Cleanup including single-use inlining (not always wanted: the
+#: memoized covar let is single-use inside the loop but must survive).
+AGGRESSIVE_GENERIC_RULES = GENERIC_RULES + (inline_single_use_let,)

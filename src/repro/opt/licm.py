@@ -1,0 +1,115 @@
+"""Loop-invariant code motion (paper Figure 4e).
+
+Two levels:
+
+* **Expression level** — a ``let`` inside a summation (or dictionary
+  construction) whose value does not mention the loop variable moves
+  outside the loop::
+
+      Σ_{x∈e1} (let y = e2 in e3) → let y = e2 in Σ_{x∈e1} e3   (x ∉ fvs(e2))
+
+* **Program level** — a ``let`` inside a ``while`` body whose value does
+  not mention the loop state moves into the program's initialization
+  section, so it is computed once instead of once per iteration.  This
+  is the step that finally lifts the memoized covar matrix out of the
+  gradient-descent loop (Example 4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.expr import DictBuild, Expr, Let, Sum
+from repro.ir.program import Program
+from repro.ir.traversal import free_vars, fresh_name, substitute
+from repro.ir.expr import Var
+from repro.opt.rewriter import rule
+
+
+@rule("licm/let-out-of-loop")
+def let_out_of_loop(e: Expr) -> Optional[Expr]:
+    """Hoist an invariant ``let`` out of ``Σ`` / ``λ``."""
+    if not isinstance(e, (Sum, DictBuild)):
+        return None
+    if not isinstance(e.body, Let):
+        return None
+    inner = e.body
+    if e.var in free_vars(inner.value):
+        return None
+    # Keep the binding's name from capturing anything in the domain.
+    var = inner.var
+    body = inner.body
+    if var in free_vars(e.domain):
+        new_var = fresh_name(var, free_vars(e.domain) | free_vars(body))
+        body = substitute(body, var, Var(new_var))
+        var = new_var
+    loop_ctor = Sum if isinstance(e, Sum) else DictBuild
+    return Let(var, inner.value, loop_ctor(e.var, e.domain, body))
+
+
+@rule("licm/float-let-upward")
+def float_let_upward(e: Expr) -> Optional[Expr]:
+    """Float a ``let`` out of any non-binding, non-branching context:
+    ``Γ(let y = v in b) → let y = v in Γ(b)``.
+
+    Needed to connect the expression-level and program-level rules of
+    Figure 4e: the memoized covar table is born inside a record
+    constructor (the loop state carries θ and the iteration counter)
+    and must surface to the top of the while body before it can move to
+    the initialization section.  ``if`` branches are left alone — code
+    in an untaken branch must stay unevaluated — and binder bodies are
+    handled by the invariance-checked rule above.
+    """
+    from repro.ir.expr import If
+    from repro.ir.traversal import children, rebuild_exact
+
+    if isinstance(e, (Let, Sum, DictBuild, If)) or not isinstance(e, Expr):
+        return None
+    kids = children(e)
+    for idx, child in enumerate(kids):
+        if isinstance(child, Let):
+            inner = child
+            others = kids[:idx] + kids[idx + 1:]
+            var, body = inner.var, inner.body
+            if any(var in free_vars(o) for o in others):
+                new_var = fresh_name(var, set().union(*(free_vars(o) for o in others)) | free_vars(body))
+                body = substitute(body, var, Var(new_var))
+                var = new_var
+            new_kids = kids[:idx] + (body,) + kids[idx + 1:]
+            return Let(var, inner.value, rebuild_exact(e, new_kids))
+    return None
+
+
+LICM_RULES = (let_out_of_loop, float_let_upward)
+
+
+def hoist_loop_invariants(program: Program) -> Program:
+    """Figure 4e, second rule: move invariant lets from the while body
+    to the initialization section.
+
+    Repeats while the body is a ``let`` whose value mentions neither the
+    loop state nor any name that would collide with existing inits.
+    """
+    inits = list(program.inits)
+    body = program.body
+    taken = {name for name, _ in inits} | {program.state}
+
+    while isinstance(body, Let) and program.state not in free_vars(body.value):
+        var, value, rest = body.var, body.value, body.body
+        if var in taken:
+            new_var = fresh_name(var, taken | free_vars(rest))
+            rest = substitute(rest, var, Var(new_var))
+            var = new_var
+        inits.append((var, value))
+        taken.add(var)
+        body = rest
+
+    if body is program.body:
+        return program
+    return Program(
+        inits=tuple(inits),
+        state=program.state,
+        init=program.init,
+        cond=program.cond,
+        body=body,
+    )

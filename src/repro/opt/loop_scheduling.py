@@ -1,0 +1,46 @@
+"""Loop scheduling (paper Figure 4b).
+
+Reorders directly nested summations so that the outer loop ranges over
+the smaller collection::
+
+    Σ_{x∈e1} Σ_{y∈e2} e3  →  Σ_{y∈e2} Σ_{x∈e1} e3      if |e1| > |e2|
+
+Pushing the larger loop inside lets factorization hoist computations
+that depend only on the (small) outer variable out of the expensive
+inner loop.  In the linear-regression example this is what moves
+``Σ_{x∈dom(Q)}`` inside ``Σ_{f2∈F}`` (Example 4.2), enabling the covar
+matrix to be memoized.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.expr import Expr, Sum
+from repro.ir.traversal import free_vars
+from repro.opt.cardinality import CardinalityEstimator
+from repro.opt.rewriter import Rule
+
+
+def make_loop_scheduling_rule(estimator: CardinalityEstimator) -> Rule:
+    """Build the swap rule for a given cardinality estimator."""
+
+    def swap_sums(e: Expr) -> Optional[Expr]:
+        if not (isinstance(e, Sum) and isinstance(e.body, Sum)):
+            return None
+        outer, inner = e, e.body
+        if outer.var == inner.var:
+            return None
+        # The swap must not move a loop inside its own dependency:
+        # neither domain may mention the other loop's variable.
+        if outer.var in free_vars(inner.domain):
+            return None
+        if inner.var in free_vars(outer.domain):
+            return None
+        outer_size = estimator.estimate_or_large(outer.domain)
+        inner_size = estimator.estimate_or_large(inner.domain)
+        if outer_size > inner_size:
+            return Sum(inner.var, inner.domain, Sum(outer.var, outer.domain, inner.body))
+        return None
+
+    return Rule("loop-scheduling/swap-sums", swap_sums)

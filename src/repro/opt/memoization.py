@@ -1,0 +1,161 @@
+"""Static memoization (paper Figure 4d).
+
+Inside loops over *statically-known finite domains* (the feature set
+``F``), repeated expensive computations cannot be hoisted directly
+because they mention the loop variables.  Static memoization tabulates
+them instead: an inner summation ``Σ_{y∈big} e`` whose only
+loop-dependences are static binders ``f1, ..., fk`` becomes a
+dictionary ``z = λ_{f1∈F1} ... λ_{fk∈Fk} Σ_{y∈big} e`` built once, with
+the original occurrence replaced by the lookups ``z(f1)...(fk)``.
+
+For linear regression this manufactures the covariance matrix ``M``
+(Example 4.4); loop-invariant code motion then hoists the ``let`` out
+of the gradient-descent loop (Example 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.expr import DictBuild, Expr, Let, Lookup, Sum, Var
+from repro.ir.traversal import (
+    bound_var,
+    children,
+    count_nodes,
+    free_vars,
+    fresh_name,
+    rebuild_exact,
+    replace_subexpr,
+)
+from repro.opt.cardinality import CardinalityEstimator
+
+
+@dataclass
+class _Candidate:
+    """An inner summation worth tabulating."""
+
+    target: Sum
+    #: static binders the target mentions, outermost first, with domains
+    dep_binders: list[tuple[str, Expr]]
+
+
+def _find_candidate(
+    body: Expr,
+    chain: list[tuple[str, Expr]],
+    estimator: CardinalityEstimator,
+) -> _Candidate | None:
+    """Scope-aware search for a memoizable summation under ``chain``.
+
+    The chain of static binders extends through any further static
+    binders met during the search (e.g. ``Σ_{f2∈F}`` nested inside
+    ``λ_{f1∈F}``).  A ``Sum`` over a non-static domain qualifies when
+    the chain *head* is free in it and no non-static locally bound
+    variable leaks into it.  The largest qualifying subexpression wins.
+    """
+    head = chain[0][0]
+    best: _Candidate | None = None
+
+    def visit(
+        node: Expr,
+        inner_chain: list[tuple[str, Expr]],
+        locally_bound: frozenset[str],
+    ) -> None:
+        nonlocal best
+        if isinstance(node, (Sum, DictBuild)) and estimator.is_static_domain(node.domain):
+            visit(node.domain, inner_chain, locally_bound)
+            visit(node.body, inner_chain + [(node.var, node.domain)], locally_bound)
+            return
+        if isinstance(node, Sum):  # non-static domain
+            fv = free_vars(node)
+            if head in fv and not (fv & locally_bound):
+                full_chain = chain + inner_chain
+                deps = [(v, d) for v, d in full_chain if v in fv]
+                if best is None or count_nodes(node) > count_nodes(best.target):
+                    best = _Candidate(target=node, dep_binders=deps)
+                return  # maximal subexpression: don't descend
+            visit(node.domain, inner_chain, locally_bound)
+            visit(node.body, inner_chain, locally_bound | {node.var})
+            return
+        bv = bound_var(node)
+        if bv is not None:
+            first, second = children(node)
+            visit(first, inner_chain, locally_bound)
+            visit(second, inner_chain, locally_bound | {bv})
+            return
+        for c in children(node):
+            visit(c, inner_chain, locally_bound)
+
+    visit(body, [], frozenset())
+    return best
+
+
+def apply_static_memoization(e: Expr, estimator: CardinalityEstimator) -> Expr:
+    """Apply Figure 4d throughout ``e``.
+
+    Walks the expression; at each static binder whose body contains
+    eligible inner summations (with this binder as their outermost
+    dependence), the summations are tabulated into ``let``-bound
+    dictionaries placed immediately above the binder — the position
+    from which loop-invariant code motion can hoist them further.
+    """
+
+    def visit(node: Expr) -> Expr:
+        if isinstance(node, (Sum, DictBuild)) and estimator.is_static_domain(node.domain):
+            # Memoize top-down: candidates mentioning THIS binder are
+            # tabulated against the full static chain below it, so the
+            # outermost binder claims the deepest-chained aggregates
+            # (the covar matrix gets λf1 λf2, not |F| per-f1 tables).
+            current: Sum | DictBuild = node
+            pending: list[tuple[str, Expr]] = []
+            while True:
+                candidate = _find_candidate(
+                    current.body, [(current.var, current.domain)], estimator
+                )
+                if candidate is None:
+                    break
+                current, binding = _memoize(current, candidate)
+                pending.append(binding)
+
+            # Recurse into the residual body for independent deeper
+            # regions (candidates not mentioning this binder).  The
+            # generated tables are final: revisiting them would re-find
+            # the very summations they tabulate.
+            body = visit(current.body)
+            rebuilt = rebuild_exact(current, (current.domain, body))
+
+            result: Expr = rebuilt
+            for memo_var, table in reversed(pending):
+                result = Let(memo_var, table, result)
+            return result
+
+        new_children = tuple(visit(c) for c in children(node))
+        return rebuild_exact(node, new_children)
+
+    return visit(e)
+
+
+def _memoize(
+    binder: Sum | DictBuild,
+    candidate: _Candidate,
+) -> tuple[Sum | DictBuild, tuple[str, Expr]]:
+    """Tabulate ``candidate`` and replace its occurrences in ``binder``.
+
+    Returns the rewritten binder and the ``(memo_var, table)`` binding
+    to be placed above it.
+    """
+    target = candidate.target
+
+    table: Expr = target
+    for v, d in reversed(candidate.dep_binders):
+        table = DictBuild(v, d, table)
+
+    avoid = free_vars(target) | {v for v, _ in candidate.dep_binders}
+    memo_var = fresh_name("memo", avoid)
+    replacement: Expr = Var(memo_var)
+    for v, _ in candidate.dep_binders:
+        replacement = Lookup(replacement, Var(v))
+
+    new_body = replace_subexpr(binder.body, target, replacement)
+    rebuilt = rebuild_exact(binder, (binder.domain, new_body))
+    assert isinstance(rebuilt, (Sum, DictBuild))
+    return rebuilt, (memo_var, table)

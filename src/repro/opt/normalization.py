@@ -1,0 +1,95 @@
+"""Normalization rules (paper Figure 4a).
+
+Brings expressions into sum-of-products form: distributes products over
+additions, pushes multiplications inside summations, and floats
+negations outward through products and summations.  Normalization is a
+preprocessing step for loop scheduling and factorization — products
+must sit inside the loops before factorization can pull the invariant
+parts back out in the right place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.expr import Add, Expr, Mul, Neg, Sum
+from repro.ir.traversal import free_vars, fresh_name, rename_binder
+from repro.opt.rewriter import rule
+
+
+@rule("normalize/distribute-mul-over-add")
+def distribute_mul_over_add(e: Expr) -> Optional[Expr]:
+    """``e1 * (e2 + e3) → e1*e2 + e1*e3`` (both operand orders)."""
+    if not isinstance(e, Mul):
+        return None
+    if isinstance(e.right, Add):
+        return Add(Mul(e.left, e.right.left), Mul(e.left, e.right.right))
+    if isinstance(e.left, Add):
+        return Add(Mul(e.left.left, e.right), Mul(e.left.right, e.right))
+    return None
+
+
+@rule("normalize/push-mul-into-sum")
+def push_mul_into_sum(e: Expr) -> Optional[Expr]:
+    """``e1 * Σ_{x∈e2} e3 → Σ_{x∈e2} (e1 * e3)`` (capture-avoiding)."""
+    if not isinstance(e, Mul):
+        return None
+    if isinstance(e.right, Sum):
+        s, other, left_side = e.right, e.left, True
+    elif isinstance(e.left, Sum):
+        s, other, left_side = e.left, e.right, False
+    else:
+        return None
+    if s.var in free_vars(other):
+        s = rename_binder(s, fresh_name(s.var, free_vars(other)))
+        assert isinstance(s, Sum)
+    body = Mul(other, s.body) if left_side else Mul(s.body, other)
+    return Sum(s.var, s.domain, body)
+
+
+@rule("normalize/mul-neg")
+def mul_neg(e: Expr) -> Optional[Expr]:
+    """``e1 * (-e2) → -(e1 * e2)`` (both operand orders)."""
+    if not isinstance(e, Mul):
+        return None
+    if isinstance(e.right, Neg):
+        return Neg(Mul(e.left, e.right.operand))
+    if isinstance(e.left, Neg):
+        return Neg(Mul(e.left.operand, e.right))
+    return None
+
+
+@rule("normalize/neg-sum")
+def neg_sum(e: Expr) -> Optional[Expr]:
+    """``-Σ_{x∈e2} e3 → Σ_{x∈e2} -e3``."""
+    if isinstance(e, Neg) and isinstance(e.operand, Sum):
+        s = e.operand
+        return Sum(s.var, s.domain, Neg(s.body))
+    return None
+
+
+@rule("normalize/split-sum-over-add")
+def split_sum_over_add(e: Expr) -> Optional[Expr]:
+    """``Σ_{x∈d}(e1 + e2) → Σ_{x∈d} e1 + Σ_{x∈d} e2``.
+
+    Σ is an additive homomorphism; splitting exposes each addend as its
+    own summation so loop scheduling and factorization can treat them
+    independently (the sum-of-products normal form).  Multi-aggregate
+    iteration (Figure 4h) later re-fuses loops that survive to the
+    aggregate layer.
+    """
+    if isinstance(e, Sum) and isinstance(e.body, Add):
+        return Add(
+            Sum(e.var, e.domain, e.body.left),
+            Sum(e.var, e.domain, e.body.right),
+        )
+    return None
+
+
+NORMALIZATION_RULES = (
+    distribute_mul_over_add,
+    push_mul_into_sum,
+    mul_neg,
+    neg_sum,
+    split_sum_over_add,
+)

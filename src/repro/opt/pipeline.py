@@ -1,0 +1,105 @@
+"""The high-level optimization pipeline (paper Section 4.1).
+
+Order matters and mirrors the paper:
+
+1. **normalization** — sum-of-products form (products inside loops),
+2. **loop scheduling** — smaller collections to the outer loops,
+3. **factorization** — loop-independent factors back out of loops,
+4. **static memoization** — tabulate feature-indexed aggregates,
+5. **loop-invariant code motion** — float the tables upward, and at
+   the program level move invariant lets out of the ``while`` loop,
+6. **generic cleanup** — dead/trivial lets, constant folding.
+
+Normalization and factorization are mutually inverse rule families, so
+each family runs to its own fixpoint; they are never mixed in one set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.ir.expr import Expr, SetLit
+from repro.ir.program import Program
+from repro.opt.cardinality import CardinalityEstimator
+from repro.opt.factorization import FACTORIZATION_RULES
+from repro.opt.generic import GENERIC_RULES, fold_constants
+from repro.opt.licm import LICM_RULES, hoist_loop_invariants
+from repro.opt.loop_scheduling import make_loop_scheduling_rule
+from repro.opt.memoization import apply_static_memoization
+from repro.opt.normalization import NORMALIZATION_RULES
+from repro.opt.rewriter import RewriteLog, rewrite_fixpoint
+
+
+@dataclass
+class HighLevelOptimizer:
+    """Applies the Section 4.1 stack to expressions and programs.
+
+    ``stats`` supplies relation/view cardinalities for the
+    loop-scheduling cost model.  Set literals bound by program inits
+    (the feature set ``F``) are registered as static domains
+    automatically.
+    """
+
+    stats: Mapping[str, int] = field(default_factory=dict)
+    log: RewriteLog = field(default_factory=RewriteLog)
+
+    def __post_init__(self) -> None:
+        self.estimator = CardinalityEstimator(stats=dict(self.stats))
+
+    # -- individual stages (exposed for the Figure 6 micro-benchmarks) --
+
+    def normalize(self, e: Expr) -> Expr:
+        return rewrite_fixpoint(e, NORMALIZATION_RULES + (fold_constants,), self.log)
+
+    def schedule_loops(self, e: Expr) -> Expr:
+        rule = make_loop_scheduling_rule(self.estimator)
+        return rewrite_fixpoint(e, (rule,), self.log)
+
+    def factorize(self, e: Expr) -> Expr:
+        return rewrite_fixpoint(e, FACTORIZATION_RULES, self.log)
+
+    def memoize(self, e: Expr) -> Expr:
+        return apply_static_memoization(e, self.estimator)
+
+    def code_motion(self, e: Expr) -> Expr:
+        return rewrite_fixpoint(e, LICM_RULES + GENERIC_RULES, self.log)
+
+    def optimize_expr(self, e: Expr) -> Expr:
+        """The full expression-level stack."""
+        e = self.normalize(e)
+        e = self.schedule_loops(e)
+        e = self.factorize(e)
+        e = self.memoize(e)
+        e = self.code_motion(e)
+        return e
+
+    # -- program level ---------------------------------------------------
+
+    def optimize_program(self, program: Program) -> Program:
+        """Optimize every component, then hoist invariants out of the loop."""
+        self._register_static_lets(program)
+
+        inits = tuple(
+            (name, self.optimize_expr(value)) for name, value in program.inits
+        )
+        init = self.optimize_expr(program.init)
+        cond = self.optimize_expr(program.cond)
+        body = self.optimize_expr(program.body)
+
+        optimized = Program(
+            inits=inits, state=program.state, init=init, cond=cond, body=body
+        )
+        return hoist_loop_invariants(optimized)
+
+    def _register_static_lets(self, program: Program) -> None:
+        for name, value in program.inits:
+            if isinstance(value, SetLit):
+                self.estimator.let_sizes[name] = len(value.elems)
+
+
+def high_level_optimize(
+    program: Program, stats: Mapping[str, int] | None = None
+) -> Program:
+    """One-shot convenience wrapper around :class:`HighLevelOptimizer`."""
+    return HighLevelOptimizer(stats=stats or {}).optimize_program(program)

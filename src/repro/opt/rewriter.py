@@ -1,0 +1,107 @@
+"""The rewrite engine driving all Figure-4 rule families.
+
+A :class:`Rule` is a partial function on expressions: it returns the
+rewritten node, or ``None`` when it does not apply.  The engine applies
+a rule set bottom-up across the tree until fixpoint, with step and size
+guards so a misbehaving rule pair cannot loop forever.  Every applied
+rule is recorded in a :class:`RewriteLog`, which the tests and the
+compiler's ``explain`` output use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.ir.expr import Expr
+from repro.ir.traversal import children, count_nodes, rebuild_exact
+
+RuleFn = Callable[[Expr], Optional[Expr]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named rewrite rule."""
+
+    name: str
+    fn: RuleFn
+
+    def __call__(self, e: Expr) -> Optional[Expr]:
+        return self.fn(e)
+
+
+def rule(name: str):
+    """Decorator turning a function into a named :class:`Rule`."""
+
+    def wrap(fn: RuleFn) -> Rule:
+        return Rule(name, fn)
+
+    return wrap
+
+
+@dataclass
+class RewriteLog:
+    """Chronological record of rule applications."""
+
+    applications: list[str] = field(default_factory=list)
+
+    def record(self, rule_name: str) -> None:
+        self.applications.append(rule_name)
+
+    def count(self, rule_name: str) -> int:
+        return sum(1 for n in self.applications if n == rule_name)
+
+    def __len__(self) -> int:
+        return len(self.applications)
+
+
+class RewriteBudgetExceeded(Exception):
+    """Raised when a rule set fails to reach fixpoint within its budget."""
+
+
+def rewrite_once(e: Expr, rules: Sequence[Rule], log: RewriteLog | None = None) -> tuple[Expr, bool]:
+    """One bottom-up sweep; returns (new expression, anything changed?)."""
+    changed = False
+
+    def visit(node: Expr) -> Expr:
+        nonlocal changed
+        new_children = tuple(visit(c) for c in children(node))
+        node = rebuild_exact(node, new_children)
+        for r in rules:
+            result = r(node)
+            if result is not None and result != node:
+                changed = True
+                if log is not None:
+                    log.record(r.name)
+                node = result
+        return node
+
+    return visit(e), changed
+
+
+def rewrite_fixpoint(
+    e: Expr,
+    rules: Sequence[Rule],
+    log: RewriteLog | None = None,
+    max_sweeps: int = 100,
+    max_growth: int = 200,
+) -> Expr:
+    """Apply ``rules`` bottom-up until nothing changes.
+
+    ``max_growth`` bounds how many times the expression may grow past
+    its original size, which catches accidentally diverging rule pairs
+    (e.g. running distribution and factoring in the same set).
+    """
+    initial_size = count_nodes(e)
+    for _ in range(max_sweeps):
+        e, changed = rewrite_once(e, rules, log)
+        if not changed:
+            return e
+        if count_nodes(e) > max_growth * max(initial_size, 16):
+            raise RewriteBudgetExceeded(
+                f"expression grew beyond {max_growth}x its input size; "
+                f"rules: {[r.name for r in rules]}"
+            )
+    raise RewriteBudgetExceeded(
+        f"no fixpoint after {max_sweeps} sweeps; rules: {[r.name for r in rules]}"
+    )

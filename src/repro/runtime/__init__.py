@@ -1,0 +1,16 @@
+"""Runtime value model and ring arithmetic shared by the interpreter
+and the generated code."""
+
+from repro.runtime.rings import is_zero, truthy, v_add, v_mul, v_neg
+from repro.runtime.values import (
+    DictValue,
+    FieldValue,
+    RecordValue,
+    SetValue,
+    VariantValue,
+)
+
+__all__ = [
+    "DictValue", "FieldValue", "RecordValue", "SetValue", "VariantValue",
+    "is_zero", "truthy", "v_add", "v_mul", "v_neg",
+]

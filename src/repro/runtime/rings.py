@@ -1,0 +1,139 @@
+"""Ring operations over IFAQ runtime values.
+
+The summation construct ``Σ`` folds with a *monoid* addition that is
+polymorphic over the value domain (paper Section 2.1, footnotes 1–2):
+
+* numbers add numerically (booleans coerce to 0/1),
+* records add pointwise (same field sets),
+* dictionaries merge, adding payloads of shared keys (bag union),
+* sets take the union.
+
+Multiplication distributes scalars over records and dictionaries, which
+is what lets expressions like ``R(xr) * {{k → v}}`` (Example 4.9) scale
+a singleton dictionary by a multiplicity.
+
+The scalar ``0`` is treated as the *polymorphic additive identity*:
+``v_add(0, d) == d`` for a dictionary ``d``.  This gives empty
+summations and missing-key lookups a consistent meaning without
+requiring a static type for every accumulator.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.values import DictValue, RecordValue, SetValue
+
+
+def is_zero(v: Any) -> bool:
+    """Is ``v`` an additive identity of its domain?"""
+    if isinstance(v, bool):
+        return not v
+    if isinstance(v, (int, float)):
+        return v == 0
+    if isinstance(v, DictValue):
+        # A dictionary whose payloads are all zero is the zero bag.
+        return all(is_zero(x) for x in v.values())
+    if isinstance(v, SetValue):
+        return len(v) == 0
+    if isinstance(v, RecordValue):
+        return all(is_zero(x) for x in v.values())
+    return False
+
+
+def v_add(a: Any, b: Any) -> Any:
+    """Ring addition, polymorphic over the value domain."""
+    if isinstance(a, bool):
+        a = int(a)
+    if isinstance(b, bool):
+        b = int(b)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return a + b
+    # The scalar zero is the universal additive identity.
+    if isinstance(a, (int, float)) and a == 0:
+        return b
+    if isinstance(b, (int, float)) and b == 0:
+        return a
+    if isinstance(a, RecordValue) and isinstance(b, RecordValue):
+        if a.field_names() != b.field_names():
+            raise TypeError(f"cannot add records with different fields: {a!r} + {b!r}")
+        return RecordValue((k, v_add(a[k], b[k])) for k in a.field_names())
+    if isinstance(a, DictValue) and isinstance(b, DictValue):
+        merged = dict(a.raw())
+        for k, v in b.items():
+            if k in merged:
+                s = v_add(merged[k], v)
+                if is_zero(s):
+                    del merged[k]
+                else:
+                    merged[k] = s
+            elif not is_zero(v):
+                merged[k] = v
+        return DictValue(merged)
+    if isinstance(a, SetValue) and isinstance(b, SetValue):
+        return SetValue(list(a) + list(b))
+    raise TypeError(f"cannot add {type(a).__name__} and {type(b).__name__}")
+
+
+def v_neg(a: Any) -> Any:
+    """Additive inverse."""
+    if isinstance(a, bool):
+        return -int(a)
+    if isinstance(a, (int, float)):
+        return -a
+    if isinstance(a, RecordValue):
+        return RecordValue((k, v_neg(v)) for k, v in a.items())
+    if isinstance(a, DictValue):
+        return DictValue({k: v_neg(v) for k, v in a.items()})
+    raise TypeError(f"cannot negate {type(a).__name__}")
+
+
+def v_mul(a: Any, b: Any) -> Any:
+    """Ring multiplication, with scalar scaling of collections."""
+    if isinstance(a, bool):
+        a = int(a)
+    if isinstance(b, bool):
+        b = int(b)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return a * b
+    if isinstance(a, (int, float)):
+        return _scale(b, a)
+    if isinstance(b, (int, float)):
+        return _scale(a, b)
+    if isinstance(a, RecordValue) and isinstance(b, RecordValue):
+        if a.field_names() != b.field_names():
+            raise TypeError(
+                f"cannot multiply records with different fields: {a!r} * {b!r}"
+            )
+        return RecordValue((k, v_mul(a[k], b[k])) for k in a.field_names())
+    if isinstance(a, DictValue) and isinstance(b, DictValue):
+        # Pointwise product on the key intersection (natural for
+        # multiplicity-weighted payloads).
+        out = {}
+        for k, v in a.items():
+            if k in b:
+                p = v_mul(v, b[k])
+                if not is_zero(p):
+                    out[k] = p
+        return DictValue(out)
+    raise TypeError(f"cannot multiply {type(a).__name__} and {type(b).__name__}")
+
+
+def _scale(v: Any, s: int | float) -> Any:
+    if s == 0:
+        return 0
+    if isinstance(v, RecordValue):
+        return RecordValue((k, v_mul(s, x)) for k, x in v.items())
+    if isinstance(v, DictValue):
+        scaled = {k: v_mul(s, x) for k, x in v.items()}
+        return DictValue({k: x for k, x in scaled.items() if not is_zero(x)})
+    raise TypeError(f"cannot scale {type(v).__name__} by a scalar")
+
+
+def truthy(v: Any) -> bool:
+    """Condition semantics for ``if`` and ``while``."""
+    if isinstance(v, bool):
+        return v
+    if isinstance(v, (int, float)):
+        return v != 0
+    raise TypeError(f"condition must be scalar, got {type(v).__name__}")

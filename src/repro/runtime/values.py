@@ -1,0 +1,198 @@
+"""Runtime values of IFAQ programs.
+
+The interpreter and the generated code share one value model:
+
+* numbers (Python ``int``/``float``) and booleans,
+* :class:`FieldValue` — first-class field names (type ``Field``),
+* :class:`RecordValue` — immutable named tuples with ring arithmetic,
+* :class:`VariantValue` — single-field partial records,
+* :class:`DictValue` — dictionaries with bag/ring semantics (relations
+  map tuples to multiplicities; aggregate views map keys to payloads),
+* :class:`SetValue` — insertion-ordered sets.
+
+Ring arithmetic over these values lives in :mod:`repro.runtime.rings`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping
+
+
+class FieldValue:
+    """A first-class field name, e.g. the elements of ``F = [['i','s']]``."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FieldValue) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("field", self.name))
+
+    def __repr__(self) -> str:
+        return f"'{self.name}'"
+
+
+class RecordValue(Mapping[str, Any]):
+    """An immutable record ``{a = 1, b = 2.5}``.
+
+    Hashable (so records can key dictionaries — relations map
+    tuple-records to multiplicities) and ordered by field declaration.
+    """
+
+    __slots__ = ("_fields", "_hash")
+
+    def __init__(self, fields: Mapping[str, Any] | Iterable[tuple[str, Any]]):
+        if isinstance(fields, Mapping):
+            items = tuple(fields.items())
+        else:
+            items = tuple(fields)
+        object.__setattr__(self, "_fields", dict(items))
+        object.__setattr__(self, "_hash", None)
+
+    def __getitem__(self, name: str) -> Any:
+        return self._fields[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(self._fields)
+
+    def items_tuple(self) -> tuple[tuple[str, Any], ...]:
+        return tuple(self._fields.items())
+
+    def project(self, names: Iterable[str]) -> "RecordValue":
+        """The sub-record with just ``names`` (order follows ``names``)."""
+        return RecordValue((n, self._fields[n]) for n in names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RecordValue):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash(frozenset(self._fields.items()))
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k} = {v!r}" for k, v in self._fields.items())
+        return "{" + inner + "}"
+
+
+class VariantValue:
+    """A variant ``<tag = value>`` — a record with exactly one field."""
+
+    __slots__ = ("tag", "value")
+
+    def __init__(self, tag: str, value: Any):
+        self.tag = tag
+        self.value = value
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, VariantValue)
+            and self.tag == other.tag
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash(("variant", self.tag, self.value))
+
+    def __repr__(self) -> str:
+        return f"<{self.tag} = {self.value!r}>"
+
+
+class DictValue(Mapping[Any, Any]):
+    """A dictionary with ring semantics.
+
+    Addition merges two dictionaries, adding payloads of shared keys and
+    dropping entries whose payload becomes zero — exactly the bag-union
+    semantics relations need (a relation is a ``DictValue`` from tuple
+    records to integer multiplicities).  Lookup of a missing key yields
+    the scalar zero ``0``, which :mod:`repro.runtime.rings` treats as
+    the polymorphic additive identity.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Mapping[Any, Any] | Iterable[tuple[Any, Any]] = ()):
+        if isinstance(data, Mapping):
+            self._data = dict(data.items())
+        else:
+            self._data = dict(data)
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._data[key]
+
+    def get(self, key: Any, default: Any = 0) -> Any:
+        return self._data.get(key, default)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._data
+
+    def items(self):
+        return self._data.items()
+
+    def values(self):
+        return self._data.values()
+
+    def keys(self):
+        return self._data.keys()
+
+    def raw(self) -> dict:
+        """The underlying dict (shared, do not mutate)."""
+        return self._data
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DictValue):
+            return self._data == other._data
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k!r} → {v!r}" for k, v in self._data.items())
+        return "{{" + inner + "}}"
+
+
+class SetValue:
+    """An insertion-ordered set; addition is union."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, elems: Iterable[Any] = ()):
+        self._data = dict.fromkeys(elems)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, elem: object) -> bool:
+        return elem in self._data
+
+    def elements(self) -> tuple[Any, ...]:
+        return tuple(self._data)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SetValue):
+            return set(self._data) == set(other._data)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return "[[" + ", ".join(repr(x) for x in self._data) + "]]"

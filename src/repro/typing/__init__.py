@@ -1,0 +1,21 @@
+"""Schema specialization (D-IFAQ → S-IFAQ) and static type checking."""
+
+from repro.typing.partial_eval import PARTIAL_EVAL_RULES
+from repro.typing.specialize import (
+    SPECIALIZATION_RULES,
+    schema_specialize,
+    specialize_expr,
+)
+from repro.typing.typecheck import (
+    IFAQTypeError,
+    TypeChecker,
+    infer_type,
+    typecheck,
+    typecheck_program,
+)
+
+__all__ = [
+    "IFAQTypeError", "PARTIAL_EVAL_RULES", "SPECIALIZATION_RULES",
+    "TypeChecker", "infer_type", "schema_specialize", "specialize_expr",
+    "typecheck", "typecheck_program",
+]

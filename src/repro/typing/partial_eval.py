@@ -1,0 +1,74 @@
+"""Partial evaluation (paper Figure 4f).
+
+Run before the schema-specialization rules proper: loops over
+statically-known set literals are unrolled, and dictionary literals
+combine under addition.  Unrolling is what turns the feature-indexed
+dictionaries into position-addressable structures that Figure 4g can
+convert to records.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.expr import Add, DictBuild, DictLit, Expr, SetLit, Sum
+from repro.ir.traversal import substitute
+from repro.opt.rewriter import rule
+
+#: Static loops beyond this size are left rolled (they would bloat the
+#: generated code without helping specialization; real feature sets are
+#: far smaller).
+MAX_UNROLL = 128
+
+
+@rule("pe/unroll-sum")
+def unroll_sum(e: Expr) -> Optional[Expr]:
+    """``Σ_{x∈[[e1,...,en]]} Γ(x) → Γ(e1) + ... + Γ(en)``."""
+    if not (isinstance(e, Sum) and isinstance(e.domain, SetLit)):
+        return None
+    elems = e.domain.elems
+    if not elems or len(elems) > MAX_UNROLL:
+        return None
+    terms = [substitute(e.body, e.var, elem) for elem in elems]
+    result = terms[0]
+    for t in terms[1:]:
+        result = Add(result, t)
+    return result
+
+
+@rule("pe/unroll-dict-build")
+def unroll_dict_build(e: Expr) -> Optional[Expr]:
+    """``λ_{x∈[[e1,...,en]]} body → {{e1 → body[x:=e1], ...}}``."""
+    if not (isinstance(e, DictBuild) and isinstance(e.domain, SetLit)):
+        return None
+    elems = e.domain.elems
+    if not elems or len(elems) > MAX_UNROLL:
+        return None
+    return DictLit(
+        tuple((elem, substitute(e.body, e.var, elem)) for elem in elems)
+    )
+
+
+@rule("pe/merge-dict-lits")
+def merge_dict_lits(e: Expr) -> Optional[Expr]:
+    """``{{e1→e2}} + {{e3→e4}}`` combines into one literal.
+
+    Syntactically equal keys combine their payloads with ``+``
+    (Figure 4f, second rule); distinct keys concatenate (third rule).
+    The runtime dictionary-literal semantics performs the same
+    combination for keys that only collide at run time.
+    """
+    if not (isinstance(e, Add) and isinstance(e.left, DictLit) and isinstance(e.right, DictLit)):
+        return None
+    entries = list(e.left.entries)
+    for k, v in e.right.entries:
+        for i, (ek, ev) in enumerate(entries):
+            if ek == k:
+                entries[i] = (ek, Add(ev, v))
+                break
+        else:
+            entries.append((k, v))
+    return DictLit(tuple(entries))
+
+
+PARTIAL_EVAL_RULES = (unroll_sum, unroll_dict_build, merge_dict_lits)

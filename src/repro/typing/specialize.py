@@ -1,0 +1,167 @@
+"""Schema specialization (paper Section 4.2, Figure 4g).
+
+Converts a dynamically-typed D-IFAQ program into statically-typed
+S-IFAQ given the database schema:
+
+* dictionaries with statically-known ``Field`` keys become records,
+* loops over static field sets are unrolled (partial evaluation),
+* dynamic field accesses ``e[‘f‘]`` become static accesses ``e.f``,
+* dictionary lookups on record-typed expressions become (then static)
+  field accesses.
+
+The result is checked with the strict S-IFAQ type checker; any residual
+dynamic feature is reported as a type error.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.expr import (
+    DictBuild,
+    DictLit,
+    DynFieldAccess,
+    Expr,
+    FieldAccess,
+    FieldLit,
+    Let,
+    Lookup,
+    RecordLit,
+    SetLit,
+    Sum,
+)
+from repro.ir.program import Program
+from repro.ir.traversal import children, rebuild_exact, substitute
+from repro.ir.types import RecordType, Type
+from repro.opt.generic import GENERIC_RULES
+from repro.opt.rewriter import rewrite_fixpoint, rule
+from repro.typing.partial_eval import PARTIAL_EVAL_RULES
+from repro.typing.typecheck import TypeChecker
+
+
+@rule("specialize/dictlit-to-record")
+def dictlit_to_record(e: Expr) -> Optional[Expr]:
+    """``{{..., ‘fi‘ → ei, ...}} → {..., fi = ei, ...}`` (Fig 4g rule 2)."""
+    if not isinstance(e, DictLit) or not e.entries:
+        return None
+    if all(isinstance(k, FieldLit) for k, _ in e.entries):
+        return RecordLit(tuple((k.name, v) for k, v in e.entries))
+    return None
+
+
+@rule("specialize/dyn-to-static-access")
+def dyn_to_static_access(e: Expr) -> Optional[Expr]:
+    """``e1[‘f‘] → e1.f`` (Fig 4g rule 1)."""
+    if isinstance(e, DynFieldAccess) and isinstance(e.key, FieldLit):
+        return FieldAccess(e.record, e.key.name)
+    return None
+
+
+SPECIALIZATION_RULES = (dictlit_to_record, dyn_to_static_access)
+
+
+def _convert_record_lookups(e: Expr, env: dict[str, Type]) -> Expr:
+    """``e1(e2) → e1[e2]`` when ``e1`` has been specialized to a record
+    (Fig 4g rule 3).  Types are inferred leniently on the fly."""
+    checker = TypeChecker(strict=False)
+
+    def convert(node: Expr, scope: dict[str, Type]) -> Expr:
+        if isinstance(node, (Sum, DictBuild)):
+            domain = convert(node.domain, scope)
+            elem = checker._domain_elem(checker.infer(domain, scope), node)
+            body = convert(node.body, {**scope, node.var: elem})
+            return rebuild_exact(node, (domain, body))
+        if isinstance(node, Let):
+            value = convert(node.value, scope)
+            vt = checker.infer(value, scope)
+            body = convert(node.body, {**scope, node.var: vt})
+            return Let(node.var, value, body)
+
+        new_children = tuple(convert(c, scope) for c in children(node))
+        node = rebuild_exact(node, new_children)
+        if isinstance(node, Lookup):
+            dict_t = checker.infer(node.dict_expr, scope)
+            if isinstance(dict_t, RecordType):
+                return DynFieldAccess(node.dict_expr, node.key)
+        return node
+
+    return convert(e, dict(env))
+
+
+def _inline_static_field_sets(program: Program) -> Program:
+    """Substitute inits bound to field-set literals into their uses.
+
+    The feature set ``let F = [[‘i‘, ...]]`` must be visible at each
+    loop header before unrolling can fire; the binding itself is kept
+    and removed later by dead-let cleanup if unused.
+    """
+    static_sets: dict[str, SetLit] = {}
+    new_inits: list[tuple[str, Expr]] = []
+
+    def subst_all(e: Expr) -> Expr:
+        for name, value in static_sets.items():
+            e = substitute(e, name, value)
+        return e
+
+    for name, value in program.inits:
+        value = subst_all(value)
+        if isinstance(value, SetLit) and value.elems and all(
+            isinstance(x, FieldLit) for x in value.elems
+        ):
+            static_sets[name] = value
+        else:
+            new_inits.append((name, value))
+
+    return Program(
+        inits=tuple(new_inits),
+        state=program.state,
+        init=subst_all(program.init),
+        cond=subst_all(program.cond),
+        body=subst_all(program.body),
+    )
+
+
+def specialize_expr(e: Expr, env: dict[str, Type] | None = None, max_rounds: int = 10) -> Expr:
+    """Run partial evaluation + specialization on one expression."""
+    env = dict(env or {})
+    rules = PARTIAL_EVAL_RULES + SPECIALIZATION_RULES + GENERIC_RULES
+    for _ in range(max_rounds):
+        before = e
+        e = rewrite_fixpoint(e, rules)
+        e = _convert_record_lookups(e, env)
+        if e == before:
+            return e
+    return e
+
+
+def schema_specialize(
+    program: Program, relation_types: dict[str, Type]
+) -> Program:
+    """Specialize a whole program given relation types from the schema.
+
+    ``relation_types`` maps each free relation variable to its
+    ``Map[{...}, int]`` type (see ``RelationSchema.ifaq_type``).
+    """
+    program = _inline_static_field_sets(program)
+
+    checker = TypeChecker(strict=False)
+    scope: dict[str, Type] = dict(relation_types)
+
+    inits: list[tuple[str, Expr]] = []
+    for name, value in program.inits:
+        value = specialize_expr(value, scope)
+        inits.append((name, value))
+        scope[name] = checker.infer(value, scope)
+
+    init = specialize_expr(program.init, scope)
+    scope[program.state] = checker.infer(init, scope)
+    cond = specialize_expr(program.cond, scope)
+    body = specialize_expr(program.body, scope)
+
+    return Program(
+        inits=tuple(inits),
+        state=program.state,
+        init=init,
+        cond=cond,
+        body=body,
+    )

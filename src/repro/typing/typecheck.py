@@ -1,0 +1,295 @@
+"""Type inference and checking for S-IFAQ (paper Section 4.2).
+
+Two modes share one inference engine:
+
+* **lenient** — used *during* schema specialization, when parts of the
+  program are still dynamically typed: unknown constructs get ``DYN``;
+* **strict** — the S-IFAQ well-formedness check run *after*
+  specialization: residual dynamic features (field values, dynamic
+  field accesses, heterogeneous collections) are type errors, reported
+  to the user with the offending expression (Figure 1's "if there are
+  type errors, they are reported").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.expr import (
+    Add,
+    BinOp,
+    Cmp,
+    Const,
+    DictBuild,
+    DictLit,
+    Dom,
+    DynFieldAccess,
+    Expr,
+    FieldAccess,
+    FieldLit,
+    If,
+    Let,
+    Lookup,
+    Mul,
+    Neg,
+    RecordLit,
+    SetLit,
+    Sum,
+    UnaryOp,
+    Var,
+    VariantLit,
+)
+from repro.ir.pretty import pretty
+from repro.ir.program import Program
+from repro.ir.types import (
+    BOOL,
+    DYN,
+    FIELD,
+    INT,
+    REAL,
+    STRING,
+    BoolType,
+    DictType,
+    DynType,
+    FieldType,
+    IntType,
+    RealType,
+    RecordType,
+    SetType,
+    StringType,
+    Type,
+    VariantType,
+)
+
+
+class IFAQTypeError(TypeError):
+    """A static type error in an S-IFAQ expression."""
+
+    def __init__(self, message: str, expr: Expr | None = None):
+        if expr is not None:
+            message = f"{message}\n  in: {pretty(expr)}"
+        super().__init__(message)
+
+
+@dataclass
+class TypeChecker:
+    """Infers IFAQ types under a variable-type environment."""
+
+    strict: bool = False
+
+    def error(self, message: str, expr: Expr) -> Type:
+        if self.strict:
+            raise IFAQTypeError(message, expr)
+        return DYN
+
+    # -- unification ---------------------------------------------------
+
+    def unify(self, a: Type, b: Type, expr: Expr) -> Type:
+        if isinstance(a, DynType):
+            return b
+        if isinstance(b, DynType):
+            return a
+        if a == b:
+            return a
+        # Numeric promotion and bool-as-0/1 in ring arithmetic.
+        numericish = (IntType, RealType, BoolType)
+        if isinstance(a, numericish) and isinstance(b, numericish):
+            if isinstance(a, RealType) or isinstance(b, RealType):
+                return REAL
+            return INT
+        if isinstance(a, RecordType) and isinstance(b, RecordType):
+            if a.field_names() != b.field_names():
+                return self.error(
+                    f"record field mismatch: {a!r} vs {b!r}", expr
+                )
+            fields = tuple(
+                (n, self.unify(a.field_type(n), b.field_type(n), expr))
+                for n in a.field_names()
+            )
+            return RecordType(fields)
+        if isinstance(a, DictType) and isinstance(b, DictType):
+            return DictType(
+                self.unify(a.key, b.key, expr), self.unify(a.value, b.value, expr)
+            )
+        if isinstance(a, SetType) and isinstance(b, SetType):
+            return SetType(self.unify(a.elem, b.elem, expr))
+        return self.error(f"cannot unify {a!r} with {b!r}", expr)
+
+    # -- inference -----------------------------------------------------
+
+    def infer(self, e: Expr, env: dict[str, Type]) -> Type:
+        if isinstance(e, Const):
+            if isinstance(e.value, bool):
+                return BOOL
+            if isinstance(e.value, int):
+                return INT
+            if isinstance(e.value, float):
+                return REAL
+            if isinstance(e.value, str):
+                return STRING
+            return self.error(f"unknown constant {e.value!r}", e)
+        if isinstance(e, FieldLit):
+            if self.strict:
+                raise IFAQTypeError(
+                    "field literal survived schema specialization", e
+                )
+            return FIELD
+        if isinstance(e, Var):
+            if e.name in env:
+                return env[e.name]
+            return self.error(f"unbound variable {e.name!r}", e)
+
+        if isinstance(e, (Add, Mul)):
+            lt = self.infer(e.left, env)
+            rt = self.infer(e.right, env)
+            if isinstance(e, Mul):
+                # Scalar scaling of a collection or record keeps its type.
+                if self._is_scalar(lt) and not self._is_scalar(rt):
+                    return rt
+                if self._is_scalar(rt) and not self._is_scalar(lt):
+                    return lt
+            return self.unify(lt, rt, e)
+        if isinstance(e, Neg):
+            return self.infer(e.operand, env)
+        if isinstance(e, UnaryOp):
+            t = self.infer(e.operand, env)
+            if e.op == "not":
+                return BOOL
+            if e.op in ("abs", "sign"):
+                return t
+            return REAL
+        if isinstance(e, BinOp):
+            lt = self.infer(e.left, env)
+            rt = self.infer(e.right, env)
+            if e.op in ("and", "or"):
+                return BOOL
+            if e.op == "div":
+                return REAL
+            if e.op == "idiv":
+                return INT
+            return self.unify(lt, rt, e)
+        if isinstance(e, Cmp):
+            self.infer(e.left, env)
+            self.infer(e.right, env)
+            return BOOL
+
+        if isinstance(e, Sum):
+            elem = self._domain_elem(self.infer(e.domain, env), e)
+            return self.infer(e.body, {**env, e.var: elem})
+        if isinstance(e, DictBuild):
+            elem = self._domain_elem(self.infer(e.domain, env), e)
+            body = self.infer(e.body, {**env, e.var: elem})
+            return DictType(elem, body)
+        if isinstance(e, DictLit):
+            key_t: Type = DYN
+            val_t: Type = DYN
+            for k, v in e.entries:
+                key_t = self.unify(key_t, self.infer(k, env), e)
+                val_t = self.unify(val_t, self.infer(v, env), e)
+            return DictType(key_t, val_t)
+        if isinstance(e, SetLit):
+            elem_t: Type = DYN
+            for x in e.elems:
+                elem_t = self.unify(elem_t, self.infer(x, env), e)
+            return SetType(elem_t)
+        if isinstance(e, Dom):
+            t = self.infer(e.operand, env)
+            if isinstance(t, DictType):
+                return SetType(t.key)
+            if isinstance(t, SetType):
+                return t
+            return self.error(f"dom() of non-dictionary type {t!r}", e)
+        if isinstance(e, Lookup):
+            dt = self.infer(e.dict_expr, env)
+            kt = self.infer(e.key, env)
+            if isinstance(dt, DictType):
+                self.unify(dt.key, kt, e)
+                return dt.value
+            if isinstance(dt, RecordType):
+                # D-IFAQ residue: records as Field-keyed dictionaries.
+                if self.strict:
+                    raise IFAQTypeError(
+                        "dictionary lookup on a record survived specialization", e
+                    )
+                return DYN
+            return self.error(f"lookup on non-dictionary type {dt!r}", e)
+
+        if isinstance(e, RecordLit):
+            return RecordType(
+                tuple((n, self.infer(v, env)) for n, v in e.fields)
+            )
+        if isinstance(e, VariantLit):
+            return VariantType(((e.tag, self.infer(e.value, env)),))
+        if isinstance(e, FieldAccess):
+            rt = self.infer(e.record, env)
+            if isinstance(rt, (RecordType, VariantType)):
+                try:
+                    return rt.field_type(e.name)
+                except KeyError:
+                    return self.error(
+                        f"no field {e.name!r} in {rt!r}", e
+                    )
+            return self.error(f"field access on non-record type {rt!r}", e)
+        if isinstance(e, DynFieldAccess):
+            rt = self.infer(e.record, env)
+            self.infer(e.key, env)
+            if self.strict:
+                raise IFAQTypeError(
+                    "dynamic field access survived schema specialization", e
+                )
+            if isinstance(rt, RecordType) and isinstance(e.key, FieldLit):
+                try:
+                    return rt.field_type(e.key.name)
+                except KeyError:
+                    return DYN
+            return DYN
+
+        if isinstance(e, Let):
+            vt = self.infer(e.value, env)
+            return self.infer(e.body, {**env, e.var: vt})
+        if isinstance(e, If):
+            self.infer(e.cond, env)
+            tt = self.infer(e.then_branch, env)
+            ft = self.infer(e.else_branch, env)
+            return self.unify(tt, ft, e)
+
+        return self.error(f"unknown node {type(e).__name__}", e)
+
+    # -- helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _is_scalar(t: Type) -> bool:
+        return isinstance(t, (IntType, RealType, BoolType))
+
+    def _domain_elem(self, t: Type, e: Expr) -> Type:
+        if isinstance(t, SetType):
+            return t.elem
+        if isinstance(t, DictType):
+            return t.key
+        return self.error(f"iteration over non-collection type {t!r}", e)
+
+
+def infer_type(e: Expr, env: dict[str, Type] | None = None) -> Type:
+    """Lenient type inference (unknowns become ``DYN``)."""
+    return TypeChecker(strict=False).infer(e, dict(env or {}))
+
+
+def typecheck(e: Expr, env: dict[str, Type] | None = None) -> Type:
+    """Strict S-IFAQ type checking; raises :class:`IFAQTypeError`."""
+    return TypeChecker(strict=True).infer(e, dict(env or {}))
+
+
+def typecheck_program(p: Program, env: dict[str, Type] | None = None) -> Type:
+    """Strictly type-check a full program; returns the state's type."""
+    checker = TypeChecker(strict=True)
+    scope = dict(env or {})
+    for name, value in p.inits:
+        scope[name] = checker.infer(value, scope)
+    state_t = checker.infer(p.init, scope)
+    scope[p.state] = state_t
+    cond_t = checker.infer(p.cond, scope)
+    if not isinstance(cond_t, (BoolType, IntType, DynType)):
+        raise IFAQTypeError(f"loop condition must be boolean, got {cond_t!r}", p.cond)
+    body_t = checker.infer(p.body, scope)
+    checker.unify(state_t, body_t, p.body)
+    return state_t

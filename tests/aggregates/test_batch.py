@@ -1,0 +1,59 @@
+"""Aggregate specs and batches."""
+
+from repro.aggregates import COUNT, AggregateBatch, AggregateSpec, covar_batch, variance_batch
+
+
+class TestSpec:
+    def test_attrs_sorted_for_identity(self):
+        assert AggregateSpec.of("p", "c") == AggregateSpec.of("c", "p")
+
+    def test_names(self):
+        assert COUNT.name == "agg_count"
+        assert AggregateSpec.of("c", "p").name == "agg_c_p"
+        assert AggregateSpec.of("c", "c").name == "agg_c_c"
+
+    def test_degree(self):
+        assert COUNT.degree == 0
+        assert AggregateSpec.of("c").degree == 1
+
+
+class TestBatch:
+    def test_deduplicates(self):
+        b = AggregateBatch.of([AggregateSpec.of("c", "p"), AggregateSpec.of("p", "c")])
+        assert len(b) == 1
+
+    def test_preserves_order(self):
+        b = AggregateBatch.of([COUNT, AggregateSpec.of("a")])
+        assert b.specs[0] == COUNT
+        assert b.index_of(AggregateSpec.of("a")) == 1
+
+    def test_all_attributes(self):
+        b = AggregateBatch.of([AggregateSpec.of("c", "p"), AggregateSpec.of("c")])
+        assert b.all_attributes() == ("c", "p")
+
+
+class TestCovarBatch:
+    def test_size_formula(self):
+        # k columns (features+label) → 1 + k + k(k+1)/2 aggregates
+        for n_feat in (1, 2, 5):
+            b = covar_batch([f"f{i}" for i in range(n_feat)], label="y")
+            k = n_feat + 1
+            assert len(b) == 1 + k + k * (k + 1) // 2
+
+    def test_contains_count_and_label_moments(self):
+        b = covar_batch(["a"], label="y")
+        names = b.names()
+        assert "agg_count" in names
+        assert "agg_y" in names
+        assert "agg_y_y" in names
+        assert "agg_a_y" in names
+
+    def test_without_label(self):
+        b = covar_batch(["a", "b"])
+        assert "agg_a_b" in b.names()
+        assert all("y" not in n for n in b.names())
+
+
+def test_variance_batch_is_count_sum_sumsq():
+    b = variance_batch("y")
+    assert set(b.names()) == {"agg_count", "agg_y", "agg_y_y"}

@@ -1,0 +1,138 @@
+"""The factorized evaluation engines vs the materialized oracle."""
+
+import math
+
+import pytest
+
+from repro.aggregates import (
+    COUNT,
+    AggregateBatch,
+    AggregateSpec,
+    build_join_tree,
+    compute_batch_materialized,
+    compute_batch_merged,
+    compute_batch_pushdown,
+    compute_batch_trie,
+    compute_groupby,
+    covar_batch,
+)
+from repro.db import JoinQuery, materialize_join
+
+ENGINES = [compute_batch_pushdown, compute_batch_merged, compute_batch_trie]
+
+
+@pytest.fixture
+def setup(int_star_db, int_star_query):
+    batch = covar_batch(["cityf", "price"], label="units")
+    tree = build_join_tree(
+        int_star_db.schema(), int_star_query.relations, stats=int_star_db.statistics()
+    )
+    oracle = compute_batch_materialized(int_star_db, int_star_query, batch)
+    return int_star_db, int_star_query, batch, tree, oracle
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_engine_matches_oracle(setup, engine):
+    db, _query, batch, tree, oracle = setup
+    result = engine(db, tree, batch)
+    assert set(result) == set(oracle)
+    for name in oracle:
+        assert math.isclose(result[name], oracle[name], rel_tol=1e-9), name
+
+
+def test_count_aggregate_equals_join_size(setup):
+    db, query, batch, tree, _oracle = setup
+    result = compute_batch_merged(db, tree, batch)
+    assert result["agg_count"] == materialize_join(db, query).tuple_count()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_engines_respect_predicates(setup, engine):
+    db, query, batch, tree, _ = setup
+    predicates = {"I": [lambda rec: rec["price"] > 20.0]}
+    expected = compute_batch_materialized(db, query, batch, predicates)
+    result = engine(db, tree, batch, predicates)
+    for name in expected:
+        assert math.isclose(result[name], expected[name], rel_tol=1e-9), name
+
+
+def test_predicate_on_fact_table(setup):
+    db, query, batch, tree, _ = setup
+    predicates = {"S": [lambda rec: rec["units"] >= 5.0]}
+    expected = compute_batch_materialized(db, query, batch, predicates)
+    result = compute_batch_merged(db, tree, batch, predicates)
+    for name in expected:
+        assert math.isclose(result[name], expected[name], rel_tol=1e-9)
+
+
+def test_empty_selection_gives_zeros(setup):
+    db, _query, batch, tree, _ = setup
+    predicates = {"S": [lambda rec: False]}
+    result = compute_batch_merged(db, tree, batch, predicates)
+    assert all(v == 0.0 for v in result.values())
+
+
+class TestGroupBy:
+    def test_groupby_fact_attribute(self, setup):
+        db, query, _b, tree, _ = setup
+        batch = AggregateBatch.of([COUNT, AggregateSpec.of("units")])
+        groups = compute_groupby(db, tree, batch, "store")
+        joined = materialize_join(db, query)
+        manual: dict = {}
+        for rec, mult in joined.data.items():
+            acc = manual.setdefault(rec["store"], [0.0, 0.0])
+            acc[0] += mult
+            acc[1] += mult * rec["units"]
+        assert set(groups) == set(manual)
+        for k in groups:
+            assert all(
+                math.isclose(a, b, rel_tol=1e-9) for a, b in zip(groups[k], manual[k])
+            )
+
+    def test_groupby_dimension_attribute_reroots(self, setup):
+        db, query, _b, tree, _ = setup
+        batch = AggregateBatch.of([COUNT, AggregateSpec.of("units")])
+        groups = compute_groupby(db, tree, batch, "price")  # owned by I
+        joined = materialize_join(db, query)
+        manual: dict = {}
+        for rec, mult in joined.data.items():
+            acc = manual.setdefault(rec["price"], [0.0, 0.0])
+            acc[0] += mult
+            acc[1] += mult * rec["units"]
+        assert set(groups) == set(manual)
+        for k in groups:
+            assert all(
+                math.isclose(a, b, rel_tol=1e-9) for a, b in zip(groups[k], manual[k])
+            )
+
+    def test_groupby_with_predicates(self, setup):
+        db, query, _b, tree, _ = setup
+        batch = AggregateBatch.of([COUNT])
+        predicates = {"R": [lambda rec: rec["cityf"] < 3.0]}
+        groups = compute_groupby(db, tree, batch, "price", predicates)
+        joined = materialize_join(db, query)
+        manual: dict = {}
+        for rec, mult in joined.data.items():
+            if rec["cityf"] < 3.0:
+                manual[rec["price"]] = manual.get(rec["price"], 0.0) + mult
+        assert {k: v[0] for k, v in groups.items()} == manual
+
+
+class TestHigherMoments:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_cubic_aggregate(self, setup, engine):
+        db, query, _b, tree, _ = setup
+        batch = AggregateBatch.of([AggregateSpec.of("cityf", "price", "units")])
+        expected = compute_batch_materialized(db, query, batch)
+        result = engine(db, tree, batch)
+        name = batch.specs[0].name
+        assert math.isclose(result[name], expected[name], rel_tol=1e-9)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_squared_dimension_attribute(self, setup, engine):
+        db, query, _b, tree, _ = setup
+        batch = AggregateBatch.of([AggregateSpec.of("price", "price")])
+        expected = compute_batch_materialized(db, query, batch)
+        result = engine(db, tree, batch)
+        name = batch.specs[0].name
+        assert math.isclose(result[name], expected[name], rel_tol=1e-9)

@@ -1,0 +1,127 @@
+"""Aggregate extraction from S-IFAQ expressions."""
+
+from repro.aggregates import (
+    AggregateSpec,
+    extract_aggregates,
+    extract_program_aggregates,
+    match_aggregate,
+    remove_dead_inits,
+)
+from repro.ir.builders import V, dom, sum_over
+from repro.ir.expr import Const, FieldAccess, Lookup, Mul, Var
+from repro.ir.program import Program
+
+
+def agg(*attrs):
+    """Σ_{x∈dom(Q)} Q(x) · Π x.attr"""
+    body = Lookup(V("Q"), V("x"))
+    for a in attrs:
+        body = body * V("x").dot(a)
+    return sum_over("x", dom(V("Q")), body)
+
+
+class TestMatch:
+    def test_matches_second_moment(self):
+        matched = match_aggregate(agg("c", "p"), "Q")
+        assert matched is not None
+        spec, coef = matched
+        assert spec == AggregateSpec.of("c", "p")
+        assert coef == 1.0
+
+    def test_matches_count(self):
+        spec, coef = match_aggregate(agg(), "Q")
+        assert spec == AggregateSpec.of()
+
+    def test_extracts_constant_coefficient(self):
+        e = sum_over(
+            "x", dom(V("Q")), Const(-1) * Lookup(V("Q"), V("x")) * V("x").dot("c")
+        )
+        spec, coef = match_aggregate(e, "Q")
+        assert spec == AggregateSpec.of("c")
+        assert coef == -1.0
+
+    def test_rejects_wrong_relation(self):
+        assert match_aggregate(agg("c"), "OtherQ") is None
+
+    def test_rejects_foreign_factor(self):
+        e = sum_over("x", dom(V("Q")), Lookup(V("Q"), V("x")) * V("theta"))
+        assert match_aggregate(e, "Q") is None
+
+    def test_rejects_missing_relation_lookup(self):
+        e = sum_over("x", dom(V("Q")), V("x").dot("c"))
+        assert match_aggregate(e, "Q") is None
+
+
+class TestExtract:
+    def test_replaces_with_batch_reference(self):
+        e = agg("c", "p") + agg("c")
+        result = extract_aggregates(e)
+        assert len(result.specs) == 2
+        refs = [
+            n
+            for n in __import__("repro.ir.traversal", fromlist=["subexpressions"]).subexpressions(result.expr)
+            if isinstance(n, FieldAccess) and n.record == Var("__aggs")
+        ]
+        assert len(refs) == 2
+
+    def test_duplicate_aggregates_share_spec(self):
+        e = agg("c") + agg("c")
+        result = extract_aggregates(e)
+        assert len(result.specs) == 1
+
+    def test_coefficient_preserved_at_use_site(self):
+        e = sum_over(
+            "x", dom(V("Q")), Const(2.0) * Lookup(V("Q"), V("x")) * V("x").dot("c")
+        )
+        result = extract_aggregates(e)
+        assert isinstance(result.expr, Mul)
+        assert result.expr.left == Const(2.0)
+
+
+class TestProgramExtraction:
+    def test_q_init_removed_when_dead(self):
+        p = Program(
+            inits=(("Q", V("join_expr_placeholder")), ("m", agg("c"))),
+            state="s",
+            init=V("m"),
+            cond=Const(False),
+            body=Var("s"),
+        )
+        out, batch = extract_program_aggregates(p)
+        assert [name for name, _ in out.inits] == ["m"]
+        assert len(batch) == 1
+
+    def test_q_kept_if_used_elsewhere(self):
+        p = Program(
+            inits=(("Q", V("join_expr_placeholder")),),
+            state="s",
+            init=dom(V("Q")),  # non-aggregate use of Q survives
+            cond=Const(False),
+            body=Var("s"),
+        )
+        out, batch = extract_program_aggregates(p)
+        assert [name for name, _ in out.inits] == ["Q"]
+        assert len(batch) == 0
+
+
+class TestDeadInits:
+    def test_chain_removal(self):
+        p = Program(
+            inits=(("a", Const(1)), ("b", V("a")), ("unused", Const(9))),
+            state="s",
+            init=V("b"),
+            cond=Const(False),
+            body=Var("s"),
+        )
+        out = remove_dead_inits(p)
+        assert [name for name, _ in out.inits] == ["a", "b"]
+
+    def test_keeps_transitive_dependencies(self):
+        p = Program(
+            inits=(("a", Const(1)), ("b", V("a"))),
+            state="s",
+            init=V("b"),
+            cond=Const(False),
+            body=Var("s"),
+        )
+        assert remove_dead_inits(p).inits == p.inits

@@ -1,0 +1,88 @@
+"""Join tree construction and rerooting (Example 4.8)."""
+
+import pytest
+
+from repro.aggregates import JoinTreeError, build_join_tree, reroot
+from repro.db import Database, Relation, RelationSchema
+from repro.ir.types import INT, REAL
+
+
+class TestBuild:
+    def test_root_is_largest_by_stats(self, paper_db):
+        tree = build_join_tree(
+            paper_db.schema(), ("S", "R", "I"), stats=paper_db.statistics()
+        )
+        assert tree.relation == "S"
+        assert {c.relation for c in tree.children} == {"R", "I"}
+
+    def test_edge_annotations(self, paper_db):
+        tree = build_join_tree(paper_db.schema(), ("S", "R", "I"), root="S")
+        by_name = {c.relation: c for c in tree.children}
+        assert by_name["R"].join_attrs == ("store",)
+        assert by_name["I"].join_attrs == ("item",)
+
+    def test_explicit_root(self, paper_db):
+        tree = build_join_tree(paper_db.schema(), ("S", "R", "I"), root="I")
+        assert tree.relation == "I"
+
+    def test_unknown_root_raises(self, paper_db):
+        with pytest.raises(JoinTreeError):
+            build_join_tree(paper_db.schema(), ("S", "R"), root="Z")
+
+    def test_disconnected_graph_raises(self):
+        a = Relation.from_rows(RelationSchema.of("A", [("x", INT)]), [(1,)])
+        b = Relation.from_rows(RelationSchema.of("B", [("y", INT)]), [(1,)])
+        db = Database.of(a, b)
+        with pytest.raises(JoinTreeError, match="disconnected"):
+            build_join_tree(db.schema(), ("A", "B"))
+
+    def test_snowflake_chain(self):
+        """Census joins Location on zip; Location joins the fact on locn."""
+        fact = Relation.from_rows(
+            RelationSchema.of("F", [("locn", INT), ("y", REAL)]), [(1, 1.0)]
+        )
+        loc = Relation.from_rows(
+            RelationSchema.of("L", [("locn", INT), ("zip", INT)]), [(1, 10)]
+        )
+        census = Relation.from_rows(
+            RelationSchema.of("C", [("zip", INT), ("pop", REAL)]), [(10, 5.0)]
+        )
+        db = Database.of(fact, loc, census)
+        tree = build_join_tree(db.schema(), ("F", "L", "C"), root="F")
+        assert tree.children[0].relation == "L"
+        assert tree.children[0].children[0].relation == "C"
+        assert tree.children[0].children[0].join_attrs == ("zip",)
+
+    def test_walk_preorder(self, paper_db):
+        tree = build_join_tree(paper_db.schema(), ("S", "R", "I"), root="S")
+        assert tree.relation_names()[0] == "S"
+
+    def test_pretty(self, paper_db):
+        tree = build_join_tree(paper_db.schema(), ("S", "R", "I"), root="S")
+        text = tree.pretty()
+        assert "S (root)" in text
+        assert "⋈" in text
+
+
+class TestReroot:
+    def test_reroot_leaf_to_root(self, paper_db):
+        tree = build_join_tree(paper_db.schema(), ("S", "R", "I"), root="S")
+        flipped = reroot(tree, "I", paper_db.schema())
+        assert flipped.relation == "I"
+        assert flipped.children[0].relation == "S"
+        # the S child keeps the edge annotation with I
+        assert flipped.children[0].join_attrs == ("item",)
+
+    def test_reroot_preserves_node_set(self, paper_db):
+        tree = build_join_tree(paper_db.schema(), ("S", "R", "I"), root="S")
+        flipped = reroot(tree, "R", paper_db.schema())
+        assert sorted(flipped.relation_names()) == sorted(tree.relation_names())
+
+    def test_reroot_same_root_is_identity(self, paper_db):
+        tree = build_join_tree(paper_db.schema(), ("S", "R", "I"), root="S")
+        assert reroot(tree, "S", paper_db.schema()) is tree
+
+    def test_reroot_unknown_raises(self, paper_db):
+        tree = build_join_tree(paper_db.schema(), ("S", "R", "I"), root="S")
+        with pytest.raises(JoinTreeError):
+            reroot(tree, "Z", paper_db.schema())

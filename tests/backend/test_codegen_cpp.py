@@ -1,0 +1,128 @@
+"""Generated C++ kernels (requires g++; skipped otherwise)."""
+
+import math
+import tempfile
+from pathlib import Path
+
+import pytest
+
+from repro.aggregates import build_join_tree, compute_batch_materialized, covar_batch
+from repro.backend.codegen_cpp import (
+    CppBackendError,
+    generate_cpp_kernel,
+    write_binary_data,
+)
+from repro.backend.compile_cpp import compile_kernel
+from repro.backend.layout import LAYOUT_ARRAYS, LAYOUT_SCALARIZED, LAYOUT_SORTED
+from repro.backend.plan import build_batch_plan
+
+pytestmark = pytest.mark.cpp
+
+CPP_LAYOUTS = [
+    ("hash", LAYOUT_SCALARIZED),
+    ("arrays", LAYOUT_ARRAYS),
+    ("sorted", LAYOUT_SORTED),
+]
+
+
+@pytest.fixture(scope="module")
+def setup():
+    import random
+
+    from repro.db import Database, JoinQuery, Relation, RelationSchema
+    from repro.ir.types import INT, REAL
+
+    rng = random.Random(5)
+    sales = Relation.from_rows(
+        RelationSchema.of("S", [("item", INT), ("store", INT), ("units", REAL)]),
+        [(rng.randrange(15), rng.randrange(6), round(rng.uniform(0, 9), 2)) for _ in range(400)],
+    )
+    stores = Relation.from_rows(
+        RelationSchema.of("R", [("store", INT), ("cityf", REAL)]),
+        [(s, round(rng.uniform(1, 4), 2)) for s in range(6)],
+    )
+    items = Relation.from_rows(
+        RelationSchema.of("I", [("item", INT), ("price", REAL)]),
+        [(i, round(rng.uniform(2, 30), 2)) for i in range(15)],
+    )
+    db = Database.of(sales, stores, items)
+    query = JoinQuery(("S", "R", "I"))
+    batch = covar_batch(["cityf", "price"], label="units")
+    tree = build_join_tree(db.schema(), query.relations, stats=db.statistics())
+    plan = build_batch_plan(db, tree, batch)
+    oracle = compute_batch_materialized(db, query, batch)
+    return db, batch, plan, oracle
+
+
+@pytest.mark.parametrize("name,layout", CPP_LAYOUTS)
+def test_cpp_kernel_matches_oracle(setup, name, layout):
+    db, batch, plan, oracle = setup
+    compiled = compile_kernel(generate_cpp_kernel(plan, layout))
+    with tempfile.TemporaryDirectory() as tmp:
+        data = Path(tmp) / "data.bin"
+        write_binary_data(db, plan, data, layout)
+        _, values = compiled.run(data)
+    for i, spec in enumerate(batch):
+        assert math.isclose(values[i], oracle[spec.name], rel_tol=1e-9), (name, spec.name)
+
+
+def test_compile_is_cached(setup):
+    _, _, plan, _ = setup
+    k = generate_cpp_kernel(plan, LAYOUT_ARRAYS)
+    first = compile_kernel(k)
+    second = compile_kernel(k)
+    assert second.compile_seconds == 0.0
+    assert first.binary_path == second.binary_path
+
+
+def test_reported_time_is_positive(setup):
+    db, _, plan, _ = setup
+    compiled = compile_kernel(generate_cpp_kernel(plan, LAYOUT_SORTED, repetitions=2))
+    with tempfile.TemporaryDirectory() as tmp:
+        data = Path(tmp) / "data.bin"
+        write_binary_data(db, plan, data, LAYOUT_SORTED)
+        seconds, _ = compiled.run(data)
+    assert seconds > 0
+
+
+def test_three_attribute_key_rejected(setup):
+    from repro.backend.plan import NodePlan, BatchPlan
+    from repro.aggregates import AggregateBatch, AggregateSpec
+
+    node = NodePlan(relation="X", parent_key=("a", "b", "c"), columns=("a", "b", "c"))
+    plan = BatchPlan(root=node, batch=AggregateBatch.of([AggregateSpec.of()]))
+    with pytest.raises(CppBackendError):
+        generate_cpp_kernel(plan, LAYOUT_ARRAYS)
+
+
+def test_composite_key_star(paper_db):
+    """(date, store) composite join key packs into one int64."""
+    import random
+
+    from repro.db import Database, JoinQuery, Relation, RelationSchema
+    from repro.ir.types import INT, REAL
+
+    rng = random.Random(11)
+    n_dates, n_stores = 8, 4
+    sales = Relation.from_rows(
+        RelationSchema.of("Sa", [("date", INT), ("store", INT), ("units", REAL)]),
+        [(rng.randrange(n_dates), rng.randrange(n_stores), 1.0 + rng.random()) for _ in range(200)],
+    )
+    txn = Relation.from_rows(
+        RelationSchema.of("Tx", [("date", INT), ("store", INT), ("txn", REAL)]),
+        [(d, s, float(100 + d * s)) for d in range(n_dates) for s in range(n_stores)],
+    )
+    db = Database.of(sales, txn)
+    query = JoinQuery(("Sa", "Tx"))
+    batch = covar_batch(["txn"], label="units")
+    tree = build_join_tree(db.schema(), query.relations, stats=db.statistics())
+    plan = build_batch_plan(db, tree, batch)
+    oracle = compute_batch_materialized(db, query, batch)
+    for _, layout in CPP_LAYOUTS:
+        compiled = compile_kernel(generate_cpp_kernel(plan, layout))
+        with tempfile.TemporaryDirectory() as tmp:
+            data = Path(tmp) / "d.bin"
+            write_binary_data(db, plan, data, layout)
+            _, values = compiled.run(data)
+        for i, spec in enumerate(batch):
+            assert math.isclose(values[i], oracle[spec.name], rel_tol=1e-9)

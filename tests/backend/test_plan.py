@@ -1,0 +1,95 @@
+"""Physical plans and data loaders."""
+
+from repro.aggregates import build_join_tree, covar_batch
+from repro.backend.layout import (
+    LAYOUT_ARRAYS,
+    LAYOUT_BASELINE,
+    LAYOUT_SCALARIZED,
+    LAYOUT_SORTED,
+    FIGURE_7B_LADDER,
+    LayoutOptions,
+)
+from repro.backend.plan import (
+    build_batch_plan,
+    prepare_arrays,
+    prepare_data,
+    prepare_dicts,
+    prepare_sorted,
+    prepare_tuple_dicts,
+)
+
+
+def make_plan(db, query):
+    batch = covar_batch(["cityf", "price"], label="units")
+    tree = build_join_tree(db.schema(), query.relations, stats=db.statistics())
+    return build_batch_plan(db, tree, batch)
+
+
+class TestBuildPlan:
+    def test_columns_cover_keys_and_owned(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        root = plan.root
+        assert set(root.columns) >= {"item", "store", "units"}
+        for child in root.children:
+            assert set(child.parent_key) <= set(child.columns)
+
+    def test_owned_per_spec_alignment(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        assert all(
+            len(n.owned_per_spec) == plan.num_aggregates for n in plan.root.walk()
+        )
+
+    def test_attr_owned_exactly_once(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        for i, spec in enumerate(plan.batch.specs):
+            total = sum(len(n.owned_per_spec[i]) for n in plan.root.walk())
+            assert total == spec.degree
+
+
+class TestLoaders:
+    def test_arrays_row_shape(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        data = prepare_arrays(int_star_db, plan)
+        node = plan.root
+        row = data[node.relation][0]
+        assert len(row) == len(node.columns) + 1  # + multiplicity
+
+    def test_sorted_is_sorted(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        data = prepare_sorted(int_star_db, plan)
+        for child in plan.root.children:
+            idx = [child.column_index(a) for a in child.parent_key]
+            keys = [tuple(r[i] for i in idx) for r in data[child.relation]]
+            assert keys == sorted(keys)
+
+    def test_dict_loaders_preserve_counts(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        tuples = prepare_tuple_dicts(int_star_db, plan)
+        dicts = prepare_dicts(int_star_db, plan)
+        for node in plan.root.walk():
+            rel = int_star_db.relation(node.relation)
+            assert sum(tuples[node.relation].values()) == rel.tuple_count()
+            assert sum(dicts[node.relation].values()) == rel.tuple_count()
+
+    def test_prepare_data_dispatch(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        assert isinstance(prepare_data(int_star_db, plan, LAYOUT_BASELINE)["S"], dict)
+        assert isinstance(prepare_data(int_star_db, plan, LAYOUT_SCALARIZED)["S"], dict)
+        assert isinstance(prepare_data(int_star_db, plan, LAYOUT_ARRAYS)["S"], list)
+        assert isinstance(prepare_data(int_star_db, plan, LAYOUT_SORTED)["S"], list)
+
+
+class TestLayoutPresets:
+    def test_ladder_is_monotone(self):
+        flags_on = []
+        for _, layout in FIGURE_7B_LADDER:
+            on = sum(
+                [layout.static_records, layout.scalar_replacement,
+                 layout.dict_to_array, layout.sorted_trie]
+            )
+            flags_on.append(on)
+        assert flags_on == sorted(flags_on)
+
+    def test_with_override(self):
+        l = LayoutOptions().with_(sorted_trie=True)
+        assert l.sorted_trie and not l.dict_to_array

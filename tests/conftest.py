@@ -1,0 +1,90 @@
+"""Shared fixtures: the paper's running-example database and friends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database, JoinQuery, Relation, RelationSchema
+from repro.ir.types import INT, REAL, STRING
+
+
+@pytest.fixture
+def paper_db() -> Database:
+    """The Example 3.1 schema: Sales ⋈ StoRes ⋈ Items.
+
+    ``cityf`` replaces the categorical ``city`` with a continuous stand-in
+    (the paper's runtime experiments use continuous attributes only).
+    """
+    sales = Relation.from_rows(
+        RelationSchema.of(
+            "S", [("item", STRING), ("store", STRING), ("units", REAL)]
+        ),
+        [
+            ("i1", "s1", 3.0),
+            ("i1", "s2", 1.0),
+            ("i2", "s1", 2.0),
+            ("i2", "s2", 4.0),
+            ("i3", "s1", 5.0),
+        ],
+    )
+    stores = Relation.from_rows(
+        RelationSchema.of("R", [("store", STRING), ("cityf", REAL)]),
+        [("s1", 1.5), ("s2", 2.5)],
+    )
+    items = Relation.from_rows(
+        RelationSchema.of("I", [("item", STRING), ("price", REAL)]),
+        [("i1", 10.0), ("i2", 20.0), ("i3", 15.0)],
+    )
+    return Database.of(sales, stores, items)
+
+
+@pytest.fixture
+def paper_query() -> JoinQuery:
+    return JoinQuery(("S", "R", "I"))
+
+
+@pytest.fixture
+def int_star_db() -> Database:
+    """A small integer-keyed star join usable by every backend."""
+    import random
+
+    rng = random.Random(17)
+    n_items, n_stores, n_sales = 12, 5, 200
+    sales = Relation.from_rows(
+        RelationSchema.of("S", [("item", INT), ("store", INT), ("units", REAL)]),
+        [
+            (rng.randrange(n_items), rng.randrange(n_stores), round(rng.uniform(0, 10), 2))
+            for _ in range(n_sales)
+        ],
+    )
+    stores = Relation.from_rows(
+        RelationSchema.of("R", [("store", INT), ("cityf", REAL)]),
+        [(s, round(rng.uniform(1, 5), 2)) for s in range(n_stores)],
+    )
+    items = Relation.from_rows(
+        RelationSchema.of("I", [("item", INT), ("price", REAL)]),
+        [(i, round(rng.uniform(5, 50), 2)) for i in range(n_items)],
+    )
+    return Database.of(sales, stores, items)
+
+
+@pytest.fixture
+def int_star_query() -> JoinQuery:
+    return JoinQuery(("S", "R", "I"))
+
+
+def pytest_configure(config):
+    from repro.backend.compile_cpp import gxx_available
+
+    config._gxx = gxx_available()
+
+
+def pytest_collection_modifyitems(config, items):
+    import pytest as _pytest
+
+    if getattr(config, "_gxx", False):
+        return
+    skip_cpp = _pytest.mark.skip(reason="g++ not available")
+    for item in items:
+        if "cpp" in item.keywords:
+            item.add_marker(skip_cpp)

@@ -1,0 +1,90 @@
+"""Dataset generators match the paper's Table 1 shapes."""
+
+import pytest
+
+from repro.data import DatasetBundle, favorita, retailer, star_schema
+from repro.db.query import materialize_join
+
+
+class TestFavoritaShape:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return favorita(scale=0.02, seed=1)
+
+    def test_five_relations(self, ds):
+        assert len(list(ds.db)) == 5
+
+    def test_six_continuous_attributes(self, ds):
+        assert len(ds.features) + 1 == 6  # paper counts the label too
+
+    def test_join_is_complete(self, ds):
+        joined = materialize_join(ds.db, ds.query)
+        fact = ds.db.relation("Sales")
+        assert joined.tuple_count() == fact.tuple_count()
+
+    def test_test_split_disjoint_dates(self, ds):
+        train_dates = {rec["date"] for rec in ds.db.relation("Sales").data}
+        test_dates = {rec["date"] for rec in ds.test_db.relation("Sales").data}
+        assert train_dates.isdisjoint(test_dates)
+
+    def test_deterministic(self):
+        a = favorita(scale=0.01, seed=7)
+        b = favorita(scale=0.01, seed=7)
+        assert a.db.relation("Sales").data == b.db.relation("Sales").data
+
+    def test_different_seeds_differ(self):
+        a = favorita(scale=0.01, seed=1)
+        b = favorita(scale=0.01, seed=2)
+        assert a.db.relation("Sales").data != b.db.relation("Sales").data
+
+
+class TestRetailerShape:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return retailer(scale=0.02, seed=1)
+
+    def test_five_relations(self, ds):
+        assert len(list(ds.db)) == 5
+
+    def test_thirty_five_continuous_attributes(self, ds):
+        assert len(ds.features) + 1 == 35  # paper's count includes the label
+
+    def test_snowflake_census_reachable_via_location(self, ds):
+        schema = ds.db.schema()
+        assert schema.shared_attributes("Location", "Census") == ("zip",)
+        assert "zip" not in ds.db.relation("Inventory").schema.attribute_names()
+
+    def test_weather_joins_on_composite_key(self, ds):
+        schema = ds.db.schema()
+        shared = set(schema.shared_attributes("Inventory", "Weather"))
+        assert shared == {"locn", "dateid"}
+
+    def test_join_is_complete(self, ds):
+        joined = materialize_join(ds.db, ds.query)
+        assert joined.tuple_count() == ds.db.relation("Inventory").tuple_count()
+
+
+class TestBundleHelpers:
+    def test_summary_reports_table1_columns(self):
+        ds = favorita(scale=0.01, seed=3)
+        s = ds.summary()
+        assert {"dataset", "db_tuples", "join_tuples", "relations", "continuous_attrs"} <= set(s)
+        assert s["relations"] == 5
+
+    def test_test_matrix_shapes(self):
+        ds = favorita(scale=0.01, seed=3)
+        x, y = ds.test_matrix()
+        assert x.shape[1] == len(ds.features)
+        assert x.shape[0] == y.shape[0] > 0
+
+
+class TestStarSchema:
+    def test_scaling_parameters(self):
+        ds = star_schema(n_facts=500, n_dims=3, dim_size=10, attrs_per_dim=2, seed=0)
+        assert len(list(ds.db)) == 4
+        assert len(ds.features) == 1 + 3 * 2
+
+    def test_join_completeness(self):
+        ds = star_schema(n_facts=300, n_dims=2, seed=0)
+        joined = materialize_join(ds.db, ds.query)
+        assert joined.tuple_count() == ds.db.relation("Fact").tuple_count()

@@ -1,0 +1,59 @@
+"""CSV round-tripping with typed parsing."""
+
+import pytest
+
+from repro.db import Relation, RelationSchema
+from repro.db.csv_io import load_csv, save_csv
+from repro.ir.types import INT, REAL, STRING
+
+
+def schema():
+    return RelationSchema.of("T", [("k", INT), ("name", STRING), ("v", REAL)])
+
+
+def test_roundtrip(tmp_path):
+    r = Relation.from_rows(schema(), [(1, "a", 2.5), (2, "b", 3.0)])
+    path = tmp_path / "t.csv"
+    save_csv(r, path)
+    back = load_csv(path, schema())
+    assert back.data == r.data
+
+
+def test_multiplicities_expand_and_recollect(tmp_path):
+    r = Relation.from_rows(schema(), [(1, "a", 2.5), (1, "a", 2.5)])
+    path = tmp_path / "t.csv"
+    save_csv(r, path)
+    back = load_csv(path, schema())
+    assert back.tuple_count() == 2
+    assert back.distinct_count() == 1
+
+
+def test_typed_parsing(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("k,name,v\n7,x,1.25\n")
+    r = load_csv(path, schema())
+    rec = next(iter(r.data))
+    assert rec["k"] == 7 and isinstance(rec["k"], int)
+    assert rec["v"] == 1.25 and isinstance(rec["v"], float)
+    assert rec["name"] == "x"
+
+
+def test_header_mismatch_raises(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("wrong,header,names\n1,x,2.0\n")
+    with pytest.raises(ValueError, match="header"):
+        load_csv(path, schema())
+
+
+def test_row_arity_mismatch_raises(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("k,name,v\n1,x\n")
+    with pytest.raises(ValueError, match="cells"):
+        load_csv(path, schema())
+
+
+def test_no_header_mode(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("1,x,2.0\n")
+    r = load_csv(path, schema(), has_header=False)
+    assert r.tuple_count() == 1

@@ -1,0 +1,93 @@
+"""Join queries: materialization, natural-join semantics, IFAQ emission."""
+
+import pytest
+
+from repro.db import Database, JoinQuery, Relation, RelationSchema, join_as_ifaq, materialize_join
+from repro.interp import evaluate
+from repro.ir.types import INT, REAL, STRING
+from repro.runtime.values import RecordValue
+
+
+class TestMaterializeJoin:
+    def test_natural_join_on_shared_attr(self):
+        a = Relation.from_rows(
+            RelationSchema.of("A", [("k", INT), ("x", REAL)]), [(1, 1.0), (2, 2.0)]
+        )
+        b = Relation.from_rows(
+            RelationSchema.of("B", [("k", INT), ("y", REAL)]), [(1, 10.0), (1, 20.0)]
+        )
+        out = materialize_join(Database.of(a, b), JoinQuery(("A", "B")))
+        assert out.tuple_count() == 2  # only k=1 matches, twice
+        assert set(out.schema.attribute_names()) == {"k", "x", "y"}
+
+    def test_multiplicities_multiply(self):
+        a = Relation.from_rows(
+            RelationSchema.of("A", [("k", INT)]), [(1,), (1,)]
+        )
+        b = Relation.from_rows(
+            RelationSchema.of("B", [("k", INT), ("y", REAL)]), [(1, 5.0), (1, 5.0)]
+        )
+        out = materialize_join(Database.of(a, b), JoinQuery(("A", "B")))
+        assert out.data[RecordValue({"k": 1, "y": 5.0})] == 4
+
+    def test_projection(self):
+        a = Relation.from_rows(
+            RelationSchema.of("A", [("k", INT), ("x", REAL)]), [(1, 1.0)]
+        )
+        b = Relation.from_rows(
+            RelationSchema.of("B", [("k", INT), ("y", REAL)]), [(1, 10.0)]
+        )
+        q = JoinQuery(("A", "B"), output_attrs=("x", "y"))
+        out = materialize_join(Database.of(a, b), q)
+        assert set(out.schema.attribute_names()) == {"x", "y"}
+
+    def test_empty_query_raises(self):
+        with pytest.raises(ValueError):
+            materialize_join(Database(), JoinQuery(()))
+
+    def test_three_way(self, paper_db, paper_query):
+        out = materialize_join(paper_db, paper_query)
+        assert out.tuple_count() == paper_db.relation("S").tuple_count()
+
+
+class TestJoinAsIfaq:
+    def test_matches_hash_join(self, paper_db, paper_query):
+        expr = join_as_ifaq(paper_db.schema(), paper_query)
+        assert evaluate(expr, paper_db.to_env()) == materialize_join(
+            paper_db, paper_query
+        ).to_value()
+
+    def test_non_joining_tuples_vanish(self):
+        a = Relation.from_rows(RelationSchema.of("A", [("k", INT)]), [(1,), (2,)])
+        b = Relation.from_rows(
+            RelationSchema.of("B", [("k", INT), ("y", REAL)]), [(1, 3.0)]
+        )
+        db = Database.of(a, b)
+        value = evaluate(join_as_ifaq(db.schema(), JoinQuery(("A", "B"))), db.to_env())
+        assert len(value) == 1
+
+
+class TestJoinQueryHelpers:
+    def test_output_attributes_default_order(self, paper_db, paper_query):
+        attrs = paper_query.output_attributes(paper_db.schema())
+        assert attrs[0] == "item"  # fact table first, first-seen order
+        assert set(attrs) == {"item", "store", "units", "cityf", "price"}
+
+    def test_join_attributes_edges(self, paper_db, paper_query):
+        edges = paper_query.join_attributes(paper_db.schema())
+        assert edges[("S", "R")] == ("store",)
+        assert edges[("S", "I")] == ("item",)
+
+
+class TestDatabase:
+    def test_schema_join_graph(self, paper_db):
+        graph = paper_db.schema().join_graph()
+        assert ("S", "R") in graph and ("S", "I") in graph
+
+    def test_missing_relation_error_lists_available(self, paper_db):
+        with pytest.raises(KeyError, match="available"):
+            paper_db.relation("Nope")
+
+    def test_statistics(self, paper_db):
+        stats = paper_db.statistics()
+        assert stats["S"] == 5

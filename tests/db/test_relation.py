@@ -1,0 +1,86 @@
+"""Relations: construction, bag semantics, layouts."""
+
+import pytest
+
+from repro.db import Relation, RelationSchema
+from repro.ir.types import INT, REAL, STRING
+from repro.runtime.values import DictValue, RecordValue
+
+
+def schema():
+    return RelationSchema.of("T", [("k", INT), ("v", REAL)])
+
+
+class TestConstruction:
+    def test_from_rows(self):
+        r = Relation.from_rows(schema(), [(1, 2.0), (2, 3.0)])
+        assert r.tuple_count() == 2
+        assert r.distinct_count() == 2
+
+    def test_duplicates_accumulate_multiplicity(self):
+        r = Relation.from_rows(schema(), [(1, 2.0), (1, 2.0)])
+        assert r.tuple_count() == 2
+        assert r.distinct_count() == 1
+        assert r.data[RecordValue({"k": 1, "v": 2.0})] == 2
+
+    def test_arity_mismatch_raises(self):
+        with pytest.raises(ValueError, match="arity"):
+            Relation.from_rows(schema(), [(1,)])
+
+    def test_from_dicts(self):
+        r = Relation.from_dicts(schema(), [{"v": 2.0, "k": 1}])
+        assert r.tuple_count() == 1
+
+
+class TestAccessors:
+    def test_attribute_values_respect_multiplicity(self):
+        r = Relation.from_rows(schema(), [(1, 2.0), (1, 2.0), (2, 5.0)])
+        assert sorted(r.attribute_values("v")) == [2.0, 2.0, 5.0]
+
+    def test_active_domain_sorted_distinct(self):
+        r = Relation.from_rows(schema(), [(3, 1.0), (1, 1.0), (3, 2.0)])
+        assert r.active_domain("k") == [1, 3]
+
+    def test_filter(self):
+        r = Relation.from_rows(schema(), [(1, 2.0), (2, 9.0)])
+        out = r.filter(lambda rec: rec["v"] > 5)
+        assert out.tuple_count() == 1
+
+    def test_project_accumulates(self):
+        r = Relation.from_rows(schema(), [(1, 2.0), (1, 9.0)])
+        out = r.project(["k"])
+        assert out.data[RecordValue({"k": 1})] == 2
+
+    def test_estimated_size(self):
+        r = Relation.from_rows(schema(), [(1, 2.0)])
+        assert r.estimated_size_bytes() == 2 * 8
+
+
+class TestLayouts:
+    def test_to_value_is_dict_value(self):
+        r = Relation.from_rows(schema(), [(1, 2.0)])
+        v = r.to_value()
+        assert isinstance(v, DictValue)
+        assert v[RecordValue({"k": 1, "v": 2.0})] == 1
+
+    def test_to_array(self):
+        r = Relation.from_rows(schema(), [(1, 2.0), (2, 3.0)])
+        arr = r.to_array()
+        assert len(arr) == 2
+        assert all(isinstance(rec, RecordValue) for rec, _ in arr)
+
+
+class TestSchema:
+    def test_tuple_type(self):
+        t = schema().tuple_type()
+        assert t.field_names() == ("k", "v")
+
+    def test_ifaq_type(self):
+        from repro.ir.types import DictType
+
+        assert isinstance(schema().ifaq_type(), DictType)
+
+    def test_attribute_type_lookup(self):
+        assert schema().attribute_type("v") == REAL
+        with pytest.raises(KeyError):
+            schema().attribute_type("zz")

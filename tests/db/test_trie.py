@@ -1,0 +1,81 @@
+"""Trie layouts: grouping, sorted lookups, counts (Section 4.3/4.4)."""
+
+from repro.db import Relation, RelationSchema, build_sorted_trie, build_trie
+from repro.db.trie import SortedTrie, iter_trie_leaves, trie_tuple_count
+from repro.ir.types import INT, REAL
+
+
+def relation():
+    return Relation.from_rows(
+        RelationSchema.of("S", [("store", INT), ("item", INT), ("units", REAL)]),
+        [
+            (1, 10, 2.0),
+            (1, 11, 3.0),
+            (2, 10, 4.0),
+            (1, 10, 2.0),  # duplicate → multiplicity 2
+        ],
+    )
+
+
+class TestBuildTrie:
+    def test_single_level_groups(self):
+        trie = build_trie(relation(), ["store"])
+        assert set(trie) == {1, 2}
+        assert len(trie[1]) == 2  # two residual tuples under store 1
+
+    def test_two_level_structure(self):
+        trie = build_trie(relation(), ["store", "item"])
+        assert set(trie[1]) == {10, 11}
+        bucket = trie[1][10]
+        assert bucket[0][1] == 2  # multiplicity preserved
+
+    def test_exhausted_attrs_leaf_is_count(self):
+        r = Relation.from_rows(
+            RelationSchema.of("T", [("a", INT), ("b", INT)]),
+            [(1, 2), (1, 2), (1, 3)],
+        )
+        trie = build_trie(r, ["a", "b"])
+        assert trie[1][2] == 2
+        assert trie[1][3] == 1
+
+    def test_tuple_count_roundtrip(self):
+        trie = build_trie(relation(), ["store"])
+        assert trie_tuple_count(trie, 1) == relation().tuple_count()
+
+    def test_iter_leaves(self):
+        trie = build_trie(relation(), ["store", "item"])
+        paths = {path for path, _ in iter_trie_leaves(trie, 2)}
+        assert (1, 10) in paths and (2, 10) in paths
+
+
+class TestSortedTrie:
+    def test_keys_sorted(self):
+        t = SortedTrie([(3, "c"), (1, "a"), (2, "b")])
+        assert t.keys == [1, 2, 3]
+
+    def test_get_hits_and_misses(self):
+        t = SortedTrie([(1, "a"), (3, "c")])
+        assert t.get(1) == "a"
+        assert t.get(2, "missing") == "missing"
+        assert t.get(3) == "c"
+
+    def test_ascending_probe_sequence_uses_cursor(self):
+        t = SortedTrie([(i, i * 10) for i in range(100)])
+        for k in range(100):
+            assert t.get(k) == k * 10
+
+    def test_backwards_probe_still_correct(self):
+        t = SortedTrie([(i, i) for i in range(10)])
+        assert t.get(8) == 8
+        assert t.get(2) == 2  # cursor behind: falls back to full search
+        assert t.get(9) == 9
+
+    def test_build_sorted_trie_nested(self):
+        t = build_sorted_trie(relation(), ["store", "item"])
+        level2 = t.get(1)
+        assert isinstance(level2, SortedTrie)
+        assert level2.keys == [10, 11]
+
+    def test_iteration(self):
+        t = SortedTrie([(2, "b"), (1, "a")])
+        assert list(t) == [(1, "a"), (2, "b")]

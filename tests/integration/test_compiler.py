@@ -1,0 +1,93 @@
+"""The IFAQ compiler driver: stage artifacts and backend agreement."""
+
+import math
+
+import pytest
+
+from repro.compiler import IFAQCompiler
+from repro.data import star_schema
+from repro.ml.programs import linear_regression_bgd
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ds = star_schema(n_facts=600, n_dims=2, dim_size=15, attrs_per_dim=1, seed=2)
+    program = linear_regression_bgd(
+        ds.db.schema(), ds.query, ds.features, ds.label, iterations=10, alpha=0.05
+    )
+    return ds, program
+
+
+class TestArtifacts:
+    def test_stages_recorded(self, setup):
+        ds, program = setup
+        compiler = IFAQCompiler(db=ds.db, query=ds.query)
+        artifacts = compiler.compile(program)
+        assert artifacts.source is program
+        assert artifacts.optimized is not program
+        assert artifacts.specialized is not artifacts.optimized
+        assert artifacts.join_tree is not None
+        assert artifacts.plan is not None
+        assert artifacts.kernel_source and "def kernel" in artifacts.kernel_source
+
+    def test_q_eliminated_from_residual(self, setup):
+        ds, program = setup
+        artifacts = IFAQCompiler(db=ds.db, query=ds.query).compile(program)
+        assert all(name != "Q" for name, _ in artifacts.residual.inits)
+
+    def test_batch_covers_covar_and_label(self, setup):
+        ds, program = setup
+        artifacts = IFAQCompiler(db=ds.db, query=ds.query).compile(program)
+        names = artifacts.batch.names()
+        # count (from |Q|), second moments, and label correlations
+        assert "agg_count" in names
+        assert any("a0_0" in n and "a1_0" in n for n in names)
+        assert any(ds.label in n for n in names)
+
+    def test_state_type_is_record(self, setup):
+        from repro.ir.types import RecordType
+
+        ds, program = setup
+        artifacts = IFAQCompiler(db=ds.db, query=ds.query).compile(program)
+        assert isinstance(artifacts.state_type, RecordType)
+
+
+class TestBackendAgreement:
+    def test_engine_modes_agree(self, setup):
+        ds, program = setup
+        results = {}
+        for mode in ("materialized", "pushdown", "merged", "trie"):
+            compiler = IFAQCompiler(
+                db=ds.db, query=ds.query, aggregate_mode=mode, backend="engine"
+            )
+            state = compiler.run(program)
+            results[mode] = {
+                k: state["theta"][k] for k in state["theta"].field_names()
+            }
+        reference = results["materialized"]
+        for mode, theta in results.items():
+            for k in reference:
+                assert math.isclose(theta[k], reference[k], rel_tol=1e-8), (mode, k)
+
+    def test_python_backend_agrees(self, setup):
+        ds, program = setup
+        engine_state = IFAQCompiler(
+            db=ds.db, query=ds.query, backend="engine"
+        ).run(program)
+        python_state = IFAQCompiler(
+            db=ds.db, query=ds.query, backend="python"
+        ).run(program)
+        for k in engine_state["theta"].field_names():
+            assert math.isclose(
+                engine_state["theta"][k], python_state["theta"][k], rel_tol=1e-8
+            )
+
+    @pytest.mark.cpp
+    def test_cpp_backend_agrees(self, setup):
+        ds, program = setup
+        engine_state = IFAQCompiler(db=ds.db, query=ds.query, backend="engine").run(program)
+        cpp_state = IFAQCompiler(db=ds.db, query=ds.query, backend="cpp").run(program)
+        for k in engine_state["theta"].field_names():
+            assert math.isclose(
+                engine_state["theta"][k], cpp_state["theta"][k], rel_tol=1e-8
+            )

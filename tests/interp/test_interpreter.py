@@ -1,0 +1,214 @@
+"""Unit tests for the reference interpreter, construct by construct."""
+
+import math
+
+import pytest
+
+from repro.interp import EvalError, Interpreter, evaluate, run_program
+from repro.ir.builders import (
+    V,
+    dict_build,
+    dict_lit,
+    dom,
+    fields,
+    fld,
+    if_,
+    let,
+    rec,
+    set_lit,
+    sum_over,
+    variant,
+)
+from repro.ir.expr import BinOp, Cmp, Const, Neg, UnaryOp, Var
+from repro.ir.program import Program
+from repro.runtime.values import DictValue, FieldValue, RecordValue, SetValue
+
+
+class TestScalars:
+    def test_const(self):
+        assert evaluate(Const(42)) == 42
+
+    def test_arith(self):
+        assert evaluate(Const(2) + Const(3) * Const(4)) == 14
+        assert evaluate(Const(2) - Const(5)) == -3
+        assert evaluate(Neg(Const(2))) == -2
+
+    def test_unary_ops(self):
+        assert evaluate(UnaryOp("abs", Const(-3))) == 3
+        assert math.isclose(evaluate(UnaryOp("sqrt", Const(9.0))), 3.0)
+        assert evaluate(UnaryOp("sign", Const(-5))) == -1
+        assert evaluate(UnaryOp("not", Const(False))) is True
+
+    def test_binops(self):
+        assert evaluate(BinOp("div", Const(7), Const(2))) == 3.5
+        assert evaluate(BinOp("idiv", Const(7), Const(2))) == 3
+        assert evaluate(BinOp("min", Const(7), Const(2))) == 2
+        assert evaluate(BinOp("max", Const(7), Const(2))) == 7
+        assert evaluate(BinOp("pow", Const(2), Const(10))) == 1024
+        assert evaluate(BinOp("and", Const(True), Const(False))) is False
+        assert evaluate(BinOp("or", Const(True), Const(False))) is True
+
+    def test_cmp(self):
+        assert evaluate(Cmp("<", Const(1), Const(2))) is True
+        assert evaluate(Cmp(">=", Const(1), Const(2))) is False
+        assert evaluate(Cmp("!=", Const("a"), Const("b"))) is True
+        assert evaluate(Cmp("in", Const(1), set_lit(1, 2)))
+
+    def test_unknown_ops_raise(self):
+        with pytest.raises(EvalError):
+            evaluate(UnaryOp("wat", Const(1)))
+        with pytest.raises(EvalError):
+            evaluate(BinOp("wat", Const(1), Const(2)))
+        with pytest.raises(EvalError):
+            evaluate(Cmp("wat", Const(1), Const(2)))
+
+
+class TestVariablesAndScoping:
+    def test_env_lookup(self):
+        assert evaluate(V("a"), {"a": 5}) == 5
+
+    def test_unbound_raises(self):
+        with pytest.raises(EvalError, match="unbound variable"):
+            evaluate(V("nope"))
+
+    def test_let_scoping_restores_outer(self):
+        e = let("x", Const(1), V("x")) + V("x")
+        assert evaluate(e, {"x": 100}) == 101
+
+    def test_let_shadows(self):
+        assert evaluate(let("x", Const(1), let("x", Const(2), V("x")))) == 2
+
+    def test_sum_variable_restored_after_loop(self):
+        e = sum_over("x", set_lit(1, 2, 3), V("x")) + V("x")
+        assert evaluate(e, {"x": 10}) == 16
+
+
+class TestCollections:
+    def test_set_literal(self):
+        assert evaluate(set_lit(1, 2, 2)) == SetValue([1, 2])
+
+    def test_dict_literal(self):
+        d = evaluate(dict_lit(("k", 1), ("j", 2)))
+        assert d == DictValue({"k": 1, "j": 2})
+
+    def test_dict_literal_combines_duplicate_keys(self):
+        assert evaluate(dict_lit(("k", 1), ("k", 2))) == DictValue({"k": 3})
+
+    def test_dict_literal_drops_zero_payloads(self):
+        assert evaluate(dict_lit(("k", 0))) == DictValue({})
+
+    def test_dom_of_dict(self):
+        d = dict_lit(("a", 1), ("b", 2))
+        assert evaluate(dom(d)) == SetValue(["a", "b"])
+
+    def test_dom_of_set_is_identity(self):
+        assert evaluate(dom(set_lit(1, 2))) == SetValue([1, 2])
+
+    def test_lookup_present_and_missing(self):
+        d = dict_lit(("a", 5))
+        assert evaluate(d(Const("a"))) == 5
+        assert evaluate(d(Const("zzz"))) == 0  # ring zero
+
+    def test_lookup_on_record_by_field_value(self):
+        e = rec(price=Const(9.0))(fld("price"))
+        assert evaluate(e) == 9.0
+
+
+class TestSumAndDictBuild:
+    def test_sum_over_set(self):
+        assert evaluate(sum_over("x", set_lit(1, 2, 3), V("x") * V("x"))) == 14
+
+    def test_sum_over_dict_iterates_keys(self):
+        d = dict_lit(("a", 2), ("b", 3))
+        e = sum_over("k", d, d(V("k")))
+        assert evaluate(e) == 5
+
+    def test_empty_sum_is_scalar_zero(self):
+        assert evaluate(sum_over("x", set_lit(), V("x"))) == 0
+
+    def test_sum_of_dicts_merges(self):
+        e = sum_over("x", set_lit(1, 2), dict_lit((V("x"), Const(1))))
+        assert evaluate(e) == DictValue({1: 1, 2: 1})
+
+    def test_dict_build(self):
+        e = dict_build("x", set_lit(1, 2), V("x") * 10)
+        assert evaluate(e) == DictValue({1: 10, 2: 20})
+
+    def test_sum_over_non_collection_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(sum_over("x", Const(3), V("x")))
+
+
+class TestRecordsAndVariants:
+    def test_record_field_access(self):
+        assert evaluate(rec(a=Const(1)).dot("a")) == 1
+
+    def test_record_missing_field_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(rec(a=Const(1)).dot("b"))
+
+    def test_dynamic_access_with_field_value(self):
+        e = rec(price=Const(3.0)).at(fld("price"))
+        assert evaluate(e) == 3.0
+
+    def test_dynamic_access_with_string(self):
+        e = rec(price=Const(3.0)).at(Const("price"))
+        assert evaluate(e) == 3.0
+
+    def test_variant(self):
+        assert evaluate(variant("left", Const(1)).dot("left")) == 1
+        with pytest.raises(EvalError):
+            evaluate(variant("left", Const(1)).dot("right"))
+
+    def test_field_access_on_scalar_raises(self):
+        with pytest.raises(EvalError):
+            evaluate(Const(1).dot("x"))
+
+
+class TestIfAndPrograms:
+    def test_if(self):
+        assert evaluate(if_(Cmp("<", Const(1), Const(2)), "yes", "no")) == "yes"
+
+    def test_if_evaluates_only_taken_branch(self):
+        # untaken branch would raise if evaluated
+        e = if_(Const(True), Const(1), V("unbound"))
+        assert evaluate(e) == 1
+
+    def test_program_loop(self):
+        p = Program(
+            inits=(("step", Const(3)),),
+            state="acc",
+            init=Const(0),
+            cond=Cmp("<", V("acc"), Const(10)),
+            body=V("acc") + V("step"),
+        )
+        assert run_program(p) == 12
+
+    def test_program_iteration_guard(self):
+        p = Program(
+            inits=(),
+            state="x",
+            init=Const(0),
+            cond=Const(True),
+            body=V("x"),
+        )
+        interp = Interpreter(max_loop_iterations=10)
+        with pytest.raises(EvalError, match="exceeded"):
+            interp.run_program(p)
+
+    def test_stats_counting(self):
+        interp = Interpreter()
+        interp.evaluate(sum_over("x", set_lit(1, 2, 3), V("x") + 1))
+        assert interp.stats.loop_iterations == 3
+        assert interp.stats.nodes_evaluated > 5
+        assert interp.stats.arithmetic_ops == 3
+
+
+class TestFieldLiterals:
+    def test_field_literal_evaluates_to_field_value(self):
+        assert evaluate(fld("price")) == FieldValue("price")
+
+    def test_fields_set(self):
+        assert evaluate(fields("i", "s")) == SetValue(
+            [FieldValue("i"), FieldValue("s")]
+        )

@@ -1,0 +1,65 @@
+"""The paper's running example (Example 3.1/4.7) under the interpreter."""
+
+import math
+
+from repro.db import join_as_ifaq, materialize_join
+from repro.interp import Interpreter, evaluate
+from repro.ir.builders import V, dom, sum_over
+from repro.ml.programs import covar_matrix_expr, linear_regression_inner_loop
+from repro.runtime.values import DictValue, FieldValue
+
+
+def test_example_47_join_expression_matches_hash_join(paper_db, paper_query):
+    expr = join_as_ifaq(paper_db.schema(), paper_query)
+    value = evaluate(expr, paper_db.to_env())
+    assert value == materialize_join(paper_db, paper_query).to_value()
+
+
+def test_join_cardinality(paper_db, paper_query):
+    joined = materialize_join(paper_db, paper_query)
+    # every Sales row finds exactly one store and one item
+    assert joined.tuple_count() == paper_db.relation("S").tuple_count()
+
+
+def test_covar_matrix_expr_symmetry(paper_db, paper_query):
+    env = paper_db.to_env()
+    env["Q"] = evaluate(join_as_ifaq(paper_db.schema(), paper_query), env)
+    m = evaluate(covar_matrix_expr(["cityf", "price"]), env)
+    c_p = m[FieldValue("cityf")][FieldValue("price")]
+    p_c = m[FieldValue("price")][FieldValue("cityf")]
+    assert math.isclose(c_p, p_c)
+
+
+def test_covar_matrix_against_manual_sum(paper_db, paper_query):
+    env = paper_db.to_env()
+    q = evaluate(join_as_ifaq(paper_db.schema(), paper_query), env)
+    env["Q"] = q
+    m = evaluate(covar_matrix_expr(["cityf", "price"]), env)
+    manual = sum(
+        mult * rec["cityf"] * rec["price"] for rec, mult in q.items()
+    )
+    assert math.isclose(m[FieldValue("cityf")][FieldValue("price")], manual)
+
+
+def test_inner_loop_expression_one_step(paper_db, paper_query):
+    """One BGD step of the Example 3.1 inner loop, checked by hand."""
+    env = paper_db.to_env()
+    env["Q"] = evaluate(join_as_ifaq(paper_db.schema(), paper_query), env)
+    env["F"] = evaluate(
+        __import__("repro.ir.builders", fromlist=["fields"]).fields("cityf", "price"),
+        {},
+    )
+    theta0 = DictValue({FieldValue("cityf"): 0.5, FieldValue("price"): 0.1})
+    env["theta"] = theta0
+
+    result = evaluate(linear_regression_inner_loop(["cityf", "price"]), env)
+
+    # manual: θ'(f1) = θ(f1) − Σ_x Q(x)·(Σ_f2 θ(f2)·x[f2])·x[f1]
+    q = env["Q"]
+    for f1 in ("cityf", "price"):
+        grad = 0.0
+        for rec, mult in q.items():
+            inner = 0.5 * rec["cityf"] + 0.1 * rec["price"]
+            grad += mult * inner * rec[f1]
+        expected = theta0[FieldValue(f1)] - grad
+        assert math.isclose(result[FieldValue(f1)], expected)

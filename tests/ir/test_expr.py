@@ -1,0 +1,98 @@
+"""Unit tests for the expression AST and its operator sugar."""
+
+import pytest
+
+from repro.ir.builders import V, fld
+from repro.ir.expr import (
+    Add,
+    Cmp,
+    Const,
+    DictLit,
+    FieldAccess,
+    FieldLit,
+    Lookup,
+    Mul,
+    Neg,
+    RecordLit,
+    SetLit,
+    Var,
+)
+
+
+class TestOperatorSugar:
+    def test_add(self):
+        assert V("a") + V("b") == Add(Var("a"), Var("b"))
+
+    def test_add_coerces_constants(self):
+        assert V("a") + 1 == Add(Var("a"), Const(1))
+        assert 2 + V("a") == Add(Const(2), Var("a"))
+
+    def test_mul(self):
+        assert V("a") * V("b") == Mul(Var("a"), Var("b"))
+
+    def test_sub_desugars_to_add_neg(self):
+        assert V("a") - V("b") == Add(Var("a"), Neg(Var("b")))
+
+    def test_neg(self):
+        assert -V("a") == Neg(Var("a"))
+
+    def test_dot_is_static_access(self):
+        assert V("x").dot("price") == FieldAccess(Var("x"), "price")
+
+    def test_call_is_dict_lookup(self):
+        assert V("Q")(V("x")) == Lookup(Var("Q"), Var("x"))
+
+    def test_at_is_dynamic_access(self):
+        from repro.ir.expr import DynFieldAccess
+
+        assert V("x").at(fld("f")) == DynFieldAccess(Var("x"), FieldLit("f"))
+
+    def test_eq_produces_cmp(self):
+        assert V("a").eq(V("b")) == Cmp("==", Var("a"), Var("b"))
+
+    def test_unsupported_coercion_raises(self):
+        with pytest.raises(TypeError):
+            V("a") + [1, 2]  # type: ignore[operator]
+
+
+class TestStructuralIdentity:
+    def test_equality_is_structural(self):
+        e1 = Mul(Var("a"), Add(Const(1), Var("b")))
+        e2 = Mul(Var("a"), Add(Const(1), Var("b")))
+        assert e1 == e2
+        assert hash(e1) == hash(e2)
+
+    def test_inequality(self):
+        assert Mul(Var("a"), Var("b")) != Mul(Var("b"), Var("a"))
+
+    def test_numeric_consts_follow_python_equality(self):
+        # dataclass equality delegates to the payloads: 1 == 1.0
+        assert Const(1) == Const(1.0)
+        assert Const(1) != Const(2)
+
+    def test_expressions_usable_as_dict_keys(self):
+        table = {Var("a"): 1, Mul(Var("a"), Var("b")): 2}
+        assert table[Var("a")] == 1
+        assert table[Mul(Var("a"), Var("b"))] == 2
+
+
+class TestRecordLit:
+    def test_field_names_and_lookup(self):
+        r = RecordLit((("a", Const(1)), ("b", Const(2))))
+        assert r.field_names() == ("a", "b")
+        assert r.field_expr("b") == Const(2)
+
+    def test_missing_field_raises(self):
+        r = RecordLit((("a", Const(1)),))
+        with pytest.raises(KeyError):
+            r.field_expr("q")
+
+
+class TestCollectionLiterals:
+    def test_set_lit_preserves_order(self):
+        s = SetLit((FieldLit("a"), FieldLit("b")))
+        assert s.elems == (FieldLit("a"), FieldLit("b"))
+
+    def test_dict_lit_entries(self):
+        d = DictLit(((Const("k"), Const(1)),))
+        assert d.entries[0] == (Const("k"), Const(1))

@@ -1,0 +1,76 @@
+"""Pretty-printer rendering checks (paper-style notation)."""
+
+from repro.ir.builders import (
+    V,
+    dict_build,
+    dict_lit,
+    dom,
+    fields,
+    fld,
+    if_,
+    let,
+    rec,
+    sum_over,
+    variant,
+)
+from repro.ir.expr import BinOp, Cmp, Const, Neg, UnaryOp
+from repro.ir.pretty import pretty, pretty_program
+from repro.ir.program import Program
+
+
+def test_sum_uses_sigma_notation():
+    e = sum_over("x", dom(V("Q")), V("Q")(V("x")))
+    assert pretty(e) == "Σ{x ∈ dom(Q)} Q(x)"
+
+
+def test_dict_build_uses_lambda_notation():
+    e = dict_build("f", V("F"), V("theta")(V("f")))
+    assert pretty(e) == "λ{f ∈ F} theta(f)"
+
+
+def test_subtraction_renders_with_minus():
+    assert pretty(V("a") - V("b")) == "(a - b)"
+
+
+def test_field_literal_quoting():
+    assert pretty(fields("i", "s")) == "[['i', 's']]"
+
+
+def test_record_and_variant():
+    assert pretty(rec(a=Const(1))) == "{a = 1}"
+    assert pretty(variant("tag", Const(2))) == "<tag = 2>"
+
+
+def test_dict_literal_arrow():
+    assert pretty(dict_lit((fld("i"), Const(0.0)))) == "{{'i' → 0.0}}"
+
+
+def test_accesses():
+    assert pretty(V("x").dot("price")) == "x.price"
+    assert pretty(V("x").at(V("f"))) == "x[f]"
+
+
+def test_let_if_cmp():
+    assert pretty(let("y", Const(1), V("y"))) == "let y = 1 in y"
+    assert pretty(if_(Cmp("<", V("a"), Const(2)), 1, 0)) == "if (a < 2) then 1 else 0"
+
+
+def test_ops():
+    assert pretty(Neg(V("a"))) == "-a"
+    assert pretty(UnaryOp("sqrt", V("a"))) == "sqrt(a)"
+    assert pretty(BinOp("div", V("a"), V("b"))) == "(a / b)"
+    assert pretty(BinOp("min", V("a"), V("b"))) == "min(a, b)"
+
+
+def test_program_rendering_has_while_loop():
+    p = Program(
+        inits=(("F", fields("i", "s")),),
+        state="theta",
+        init=Const(0),
+        cond=Cmp("<", V("theta"), Const(3)),
+        body=V("theta") + 1,
+    )
+    text = pretty_program(p)
+    assert "let F = [['i', 's']] in" in text
+    assert "theta ← 0" in text
+    assert "while ((theta < 3)) {" in text

@@ -1,0 +1,57 @@
+"""Tests for the top-level program shape (grammar production ``p``)."""
+
+from repro.ir.builders import V
+from repro.ir.expr import Const, Let, Var
+from repro.ir.program import Program, straight_line
+from repro.interp import run_program
+
+
+def test_straight_line_program_evaluates_expression():
+    p = straight_line(Const(5) + Const(2))
+    assert run_program(p) == 7
+
+
+def test_program_free_vars_excludes_inits_and_state():
+    p = Program(
+        inits=(("a", Const(1)), ("b", V("a") + V("external"))),
+        state="s",
+        init=V("b"),
+        cond=Const(False),
+        body=Var("s"),
+    )
+    assert p.free_vars() == {"external"}
+
+
+def test_as_expr_wraps_inits_as_lets():
+    p = Program(
+        inits=(("a", Const(2)),),
+        state="s",
+        init=V("a") * 3,
+        cond=Const(False),
+        body=Var("s"),
+    )
+    e = p.as_expr()
+    assert isinstance(e, Let)
+    from repro.interp import evaluate
+
+    assert evaluate(e) == 6
+
+
+def test_iterative_program_counts():
+    from repro.ir.expr import Cmp
+
+    p = Program(
+        inits=(),
+        state="k",
+        init=Const(0),
+        cond=Cmp("<", V("k"), Const(10)),
+        body=V("k") + 1,
+    )
+    assert run_program(p) == 10
+
+
+def test_with_inits_replaces():
+    p = straight_line(Const(1))
+    p2 = p.with_inits((("x", Const(2)),))
+    assert p2.inits == (("x", Const(2)),)
+    assert p.inits == ()

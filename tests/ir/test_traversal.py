@@ -1,0 +1,145 @@
+"""Unit tests for traversal, free variables and substitution."""
+
+from repro.ir.builders import V, dict_build, dom, fld, let, set_lit, sum_over
+from repro.ir.expr import (
+    Add,
+    Const,
+    DictLit,
+    Let,
+    Mul,
+    RecordLit,
+    Sum,
+    Var,
+)
+from repro.ir.traversal import (
+    children,
+    contains,
+    count_nodes,
+    free_vars,
+    fresh_name,
+    rebuild_exact,
+    rename_binder,
+    replace_subexpr,
+    subexpressions,
+    substitute,
+    transform_bottom_up,
+)
+
+
+class TestChildrenRebuild:
+    def test_roundtrip_every_node_kind(self):
+        exprs = [
+            Add(Var("a"), Var("b")),
+            Mul(Var("a"), Const(2)),
+            sum_over("x", dom(V("Q")), V("x")),
+            dict_build("x", set_lit(1, 2), V("x")),
+            DictLit(((Const("k"), Const(1)), (Const("j"), Const(2)))),
+            RecordLit((("a", Const(1)), ("b", Var("z")))),
+            let("y", Const(1), V("y") + V("z")),
+            V("x").dot("f"),
+            V("x").at(fld("f")),
+            V("Q")(V("x")),
+        ]
+        for e in exprs:
+            assert rebuild_exact(e, children(e)) == e
+
+    def test_dictlit_rebuild_preserves_pairing(self):
+        d = DictLit(((Const("a"), Const(1)), (Const("b"), Const(2))))
+        kids = children(d)
+        assert kids == (Const("a"), Const(1), Const("b"), Const(2))
+        assert rebuild_exact(d, kids) == d
+
+    def test_count_nodes(self):
+        assert count_nodes(Var("a")) == 1
+        assert count_nodes(Add(Var("a"), Var("b"))) == 3
+
+    def test_subexpressions_preorder(self):
+        e = Add(Var("a"), Mul(Var("b"), Var("c")))
+        nodes = list(subexpressions(e))
+        assert nodes[0] == e
+        assert Var("c") in nodes
+
+    def test_contains(self):
+        e = Add(Var("a"), Mul(Var("b"), Var("c")))
+        assert contains(e, Mul(Var("b"), Var("c")))
+        assert not contains(e, Var("z"))
+
+
+class TestFreeVars:
+    def test_var_is_free(self):
+        assert free_vars(Var("a")) == {"a"}
+
+    def test_sum_binds_its_variable(self):
+        e = sum_over("x", dom(V("Q")), V("x") * V("y"))
+        assert free_vars(e) == {"Q", "y"}
+
+    def test_let_binds_only_in_body(self):
+        e = let("x", V("x") + 1, V("x") * V("y"))
+        # the value's x is free (refers to an outer x)
+        assert free_vars(e) == {"x", "y"}
+
+    def test_domain_not_in_binder_scope(self):
+        e = sum_over("x", dom(V("x")), V("x"))
+        assert free_vars(e) == {"x"}  # the domain's x is free
+
+
+class TestSubstitution:
+    def test_simple(self):
+        assert substitute(Var("a") + Var("b"), "a", Const(1)) == Const(1) + Var("b")
+
+    def test_shadowed_variable_untouched(self):
+        e = let("x", Const(1), V("x") + V("y"))
+        out = substitute(e, "x", Const(99))
+        assert isinstance(out, Let)
+        assert out.body == V("x") + V("y")  # inner x still bound by let
+
+    def test_substitution_in_let_value(self):
+        e = let("z", V("a"), V("z"))
+        out = substitute(e, "a", Const(7))
+        assert isinstance(out, Let)
+        assert out.value == Const(7)
+
+    def test_capture_avoidance_in_sum(self):
+        # Σ_{x∈Q} (x * y) [y := x]  must NOT capture the bound x.
+        e = sum_over("x", dom(V("Q")), V("x") * V("y"))
+        out = substitute(e, "y", Var("x"))
+        assert isinstance(out, Sum)
+        assert out.var != "x"
+        # the free x must appear in the body, multiplied by the renamed binder
+        assert free_vars(out) == {"Q", "x"}
+
+    def test_capture_avoidance_in_let(self):
+        e = let("x", Const(1), V("x") + V("y"))
+        out = substitute(e, "y", Var("x"))
+        assert isinstance(out, Let)
+        assert out.var != "x"
+        assert free_vars(out) == {"x"}
+
+
+class TestHelpers:
+    def test_fresh_name_avoids(self):
+        name = fresh_name("x", avoid={"x_0", "x_1"})
+        assert name not in {"x_0", "x_1"}
+
+    def test_rename_binder(self):
+        e = sum_over("x", dom(V("Q")), V("x") * V("x"))
+        out = rename_binder(e, "z")
+        assert isinstance(out, Sum)
+        assert out.var == "z"
+        assert out.body == V("z") * V("z")
+
+    def test_replace_subexpr_all_occurrences(self):
+        needle = V("a") * V("b")
+        e = Add(needle, Add(needle, Const(1)))
+        out = replace_subexpr(e, needle, Var("m"))
+        assert out == Add(Var("m"), Add(Var("m"), Const(1)))
+
+    def test_transform_bottom_up(self):
+        def inc_consts(node):
+            if isinstance(node, Const) and isinstance(node.value, int):
+                return Const(node.value + 1)
+            return node
+
+        assert transform_bottom_up(Add(Const(1), Const(2)), inc_consts) == Add(
+            Const(2), Const(3)
+        )

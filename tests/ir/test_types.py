@@ -1,0 +1,104 @@
+"""Unit tests for the IFAQ type system (paper Figure 2, type grammar)."""
+
+import pytest
+
+from repro.ir.types import (
+    BOOL,
+    DYN,
+    FIELD,
+    INT,
+    REAL,
+    STRING,
+    DictType,
+    EnumType,
+    OneHotType,
+    RecordType,
+    SetType,
+    VariantType,
+    is_collection,
+    relation_type,
+)
+
+
+class TestScalarTypes:
+    def test_numeric_classification(self):
+        assert INT.is_numeric()
+        assert REAL.is_numeric()
+        assert not STRING.is_numeric()
+        assert not BOOL.is_numeric()
+
+    def test_categorical_classification(self):
+        assert BOOL.is_categorical()
+        assert STRING.is_categorical()
+        assert FIELD.is_categorical()
+        assert not INT.is_categorical()
+
+    def test_singletons_are_equal_by_structure(self):
+        from repro.ir.types import IntType, RealType
+
+        assert INT == IntType()
+        assert REAL == RealType()
+        assert INT != REAL
+
+    def test_enum_type(self):
+        color = EnumType("color", ("red", "green"))
+        assert color.is_categorical()
+        assert color == EnumType("color", ("red", "green"))
+        assert color != EnumType("shade", ("red", "green"))
+
+    def test_one_hot_type_is_numeric(self):
+        t = OneHotType(5, EnumType("color"))
+        assert t.is_numeric()
+        assert t.dim == 5
+
+
+class TestRecordType:
+    def test_field_lookup(self):
+        r = RecordType((("a", INT), ("b", REAL)))
+        assert r.field_type("a") == INT
+        assert r.field_type("b") == REAL
+        assert r.field_names() == ("a", "b")
+
+    def test_missing_field_raises(self):
+        r = RecordType((("a", INT),))
+        with pytest.raises(KeyError):
+            r.field_type("zzz")
+
+    def test_has_field(self):
+        r = RecordType((("a", INT),))
+        assert r.has_field("a")
+        assert not r.has_field("b")
+
+    def test_structural_equality_is_order_sensitive(self):
+        assert RecordType((("a", INT), ("b", REAL))) != RecordType(
+            (("b", REAL), ("a", INT))
+        )
+
+
+class TestCollectionTypes:
+    def test_relation_type_shape(self):
+        t = relation_type((("item", STRING), ("price", REAL)))
+        assert isinstance(t, DictType)
+        assert isinstance(t.key, RecordType)
+        assert t.value == INT
+
+    def test_is_collection(self):
+        assert is_collection(DictType(INT, REAL))
+        assert is_collection(SetType(FIELD))
+        assert not is_collection(INT)
+        assert not is_collection(RecordType(()))
+
+    def test_variant_field_type(self):
+        v = VariantType((("left", INT), ("right", REAL)))
+        assert v.field_type("left") == INT
+        with pytest.raises(KeyError):
+            v.field_type("middle")
+
+    def test_dyn_is_neither(self):
+        assert not DYN.is_numeric()
+        assert not DYN.is_categorical()
+
+    def test_reprs_are_readable(self):
+        assert repr(DictType(INT, REAL)) == "Map[int, real]"
+        assert repr(SetType(FIELD)) == "Set[field]"
+        assert "a: int" in repr(RecordType((("a", INT),)))

@@ -1,0 +1,113 @@
+"""Materialize-then-learn baselines and their failure models."""
+
+import numpy as np
+import pytest
+
+from repro.data import star_schema
+from repro.ml import (
+    MLPackStyleLinearRegression,
+    OutOfMemoryError,
+    ScikitStyleLinearRegression,
+    TensorFlowStyleLinearRegression,
+    materialize_to_matrix,
+    rmse,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return star_schema(n_facts=2500, n_dims=2, dim_size=20, attrs_per_dim=1, seed=8)
+
+
+class TestScikitStyle:
+    def test_ols_fits(self, dataset):
+        ds = dataset
+        model = ScikitStyleLinearRegression(ds.features, ds.label).fit(ds.db, ds.query)
+        xt, yt = ds.test_matrix()
+        assert rmse(model.predict_many(xt), yt) < rmse(np.full_like(yt, yt.mean()), yt)
+
+    def test_memory_budget_raises(self, dataset):
+        ds = dataset
+        model = ScikitStyleLinearRegression(
+            ds.features, ds.label, memory_budget_bytes=1000
+        )
+        with pytest.raises(OutOfMemoryError):
+            model.fit(ds.db, ds.query)
+
+
+class TestTensorFlowStyle:
+    def test_one_epoch_worse_than_ols(self, dataset):
+        """Paper: TF's single epoch has higher RMSE than converged IFAQ/OLS."""
+        ds = dataset
+        ols = ScikitStyleLinearRegression(ds.features, ds.label).fit(ds.db, ds.query)
+        tf = TensorFlowStyleLinearRegression(
+            ds.features, ds.label, batch_size=250, learning_rate=0.05
+        ).fit(ds.db, ds.query)
+        xt, yt = ds.test_matrix()
+        assert rmse(tf.predict_many(xt), yt) >= rmse(ols.predict_many(xt), yt) - 1e-9
+
+    def test_more_epochs_approach_ols(self, dataset):
+        ds = dataset
+        x, y = materialize_to_matrix(ds.db, ds.query, ds.features, ds.label)
+        one = TensorFlowStyleLinearRegression(
+            ds.features, ds.label, batch_size=250, epochs=1
+        ).learn(x, y)
+        many = TensorFlowStyleLinearRegression(
+            ds.features, ds.label, batch_size=250, epochs=30
+        ).learn(x, y)
+        ols = ScikitStyleLinearRegression(ds.features, ds.label).learn(x, y)
+        xt, yt = ds.test_matrix()
+        gap_one = rmse(one.predict_many(xt), yt) - rmse(ols.predict_many(xt), yt)
+        gap_many = rmse(many.predict_many(xt), yt) - rmse(ols.predict_many(xt), yt)
+        assert gap_many <= gap_one + 1e-9
+
+    def test_deterministic_given_seed(self, dataset):
+        ds = dataset
+        x, y = materialize_to_matrix(ds.db, ds.query, ds.features, ds.label)
+        a = TensorFlowStyleLinearRegression(ds.features, ds.label, seed=4).learn(x, y)
+        b = TensorFlowStyleLinearRegression(ds.features, ds.label, seed=4).learn(x, y)
+        assert np.allclose(a.theta_, b.theta_)
+
+
+class TestMLPackStyle:
+    def test_fails_at_half_the_budget(self, dataset):
+        """The transpose copy doubles memory: mlpack dies first."""
+        ds = dataset
+        x, y = materialize_to_matrix(ds.db, ds.query, ds.features, ds.label)
+        budget = int(x.nbytes * 1.5)
+        ScikitStyleLinearRegression(
+            ds.features, ds.label, memory_budget_bytes=budget
+        ).learn(x, y)  # scikit fits
+        with pytest.raises(OutOfMemoryError):
+            MLPackStyleLinearRegression(
+                ds.features, ds.label, memory_budget_bytes=budget
+            ).learn(x, y)
+
+    def test_same_solution_as_scikit_when_it_fits(self, dataset):
+        ds = dataset
+        x, y = materialize_to_matrix(ds.db, ds.query, ds.features, ds.label)
+        a = ScikitStyleLinearRegression(ds.features, ds.label).learn(x, y)
+        b = MLPackStyleLinearRegression(ds.features, ds.label).learn(x, y)
+        assert np.allclose(a.theta_, b.theta_)
+
+
+class TestMaterialization:
+    def test_matrix_shape(self, dataset):
+        ds = dataset
+        x, y = materialize_to_matrix(ds.db, ds.query, ds.features, ds.label)
+        from repro.db.query import materialize_join
+
+        assert x.shape == (materialize_join(ds.db, ds.query).tuple_count(), len(ds.features))
+        assert y.shape == (x.shape[0],)
+
+    def test_multiplicity_expansion(self):
+        from repro.db import Database, JoinQuery, Relation, RelationSchema
+        from repro.ir.types import INT, REAL
+        from repro.ml.baselines import relation_to_matrix
+
+        r = Relation.from_rows(
+            RelationSchema.of("T", [("a", REAL), ("y", REAL)]),
+            [(1.0, 2.0), (1.0, 2.0)],
+        )
+        x, y = relation_to_matrix(r, ["a"], "y")
+        assert x.shape == (2, 1)

@@ -1,0 +1,124 @@
+"""IFAQ linear regression: correctness against closed form and baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import star_schema
+from repro.ml import (
+    IFAQLinearRegression,
+    ScikitStyleLinearRegression,
+    closed_form_solution,
+    materialize_to_matrix,
+    rmse,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return star_schema(n_facts=3000, n_dims=2, dim_size=25, attrs_per_dim=2, seed=3)
+
+
+class TestFit:
+    def test_converges_to_closed_form(self, dataset):
+        ds = dataset
+        model = IFAQLinearRegression(
+            ds.features, ds.label, iterations=800, alpha=1.0, backend="python"
+        ).fit(ds.db, ds.query)
+        covar = model.covar_
+        assert covar is not None
+        exact = closed_form_solution(covar, ds.features, ds.label)
+        assert np.allclose(model.theta_, exact, atol=1e-4)
+
+    def test_rmse_within_one_percent_of_ols(self, dataset):
+        """The Section 5 accuracy claim."""
+        ds = dataset
+        model = IFAQLinearRegression(
+            ds.features, ds.label, iterations=800, alpha=1.0
+        ).fit(ds.db, ds.query)
+        sk = ScikitStyleLinearRegression(ds.features, ds.label).fit(ds.db, ds.query)
+        xt, yt = ds.test_matrix()
+        r_ifaq = rmse(model.predict_many(xt), yt)
+        r_ols = rmse(sk.predict_many(xt), yt)
+        assert r_ifaq <= r_ols * 1.01
+
+    def test_recovers_planted_coefficients(self, dataset):
+        ds = dataset
+        model = IFAQLinearRegression(
+            ds.features, ds.label, iterations=800, alpha=1.0
+        ).fit(ds.db, ds.query)
+        named = dict(zip(["intercept"] + list(ds.features), model.theta_))
+        # the generator plants coefficient 1.0 on f0, a0_0 and a1_0
+        assert math.isclose(named["f0"], 1.0, abs_tol=0.05)
+        assert math.isclose(named["a0_0"], 1.0, abs_tol=0.08)
+        assert math.isclose(named["a1_0"], 1.0, abs_tol=0.08)
+
+    def test_predict_single_record(self, dataset):
+        ds = dataset
+        model = IFAQLinearRegression(ds.features, ds.label, iterations=50).fit(
+            ds.db, ds.query
+        )
+        rec = {f: 0.0 for f in ds.features}
+        assert math.isclose(model.predict(rec), model.theta_[0])
+
+    def test_unfitted_predict_raises(self, dataset):
+        model = IFAQLinearRegression(dataset.features, dataset.label)
+        with pytest.raises(RuntimeError):
+            model.predict({})
+
+
+class TestBackendsAgree:
+    @pytest.mark.parametrize("mode", ["materialized", "pushdown", "merged", "trie"])
+    def test_engine_modes_same_covar(self, dataset, mode):
+        ds = dataset
+        ref = IFAQLinearRegression(
+            ds.features, ds.label, aggregate_mode="trie", backend="engine"
+        ).compute_covar(ds.db, ds.query)
+        got = IFAQLinearRegression(
+            ds.features, ds.label, aggregate_mode=mode, backend="engine"
+        ).compute_covar(ds.db, ds.query)
+        for k in ref:
+            assert math.isclose(got[k], ref[k], rel_tol=1e-9), k
+
+    def test_python_backend_matches_engine(self, dataset):
+        ds = dataset
+        a = IFAQLinearRegression(ds.features, ds.label, backend="engine").compute_covar(
+            ds.db, ds.query
+        )
+        b = IFAQLinearRegression(ds.features, ds.label, backend="python").compute_covar(
+            ds.db, ds.query
+        )
+        for k in a:
+            assert math.isclose(a[k], b[k], rel_tol=1e-9), k
+
+    @pytest.mark.cpp
+    def test_cpp_backend_matches_engine(self, dataset):
+        ds = dataset
+        a = IFAQLinearRegression(ds.features, ds.label, backend="engine").compute_covar(
+            ds.db, ds.query
+        )
+        b = IFAQLinearRegression(ds.features, ds.label, backend="cpp").compute_covar(
+            ds.db, ds.query
+        )
+        for k in a:
+            assert math.isclose(a[k], b[k], rel_tol=1e-9), k
+
+
+class TestCompilerPathAgreement:
+    def test_fit_via_compiler_matches_interpreter(self):
+        from repro.interp import Interpreter
+        from repro.ml.programs import linear_regression_bgd
+
+        ds = star_schema(n_facts=400, n_dims=2, dim_size=10, attrs_per_dim=1, seed=9)
+        model = IFAQLinearRegression(ds.features, ds.label, iterations=15, alpha=0.05)
+        theta_compiled = model.fit_via_compiler(ds.db, ds.query)
+
+        prog = linear_regression_bgd(
+            ds.db.schema(), ds.query, ds.features, ds.label, iterations=15, alpha=0.05
+        )
+        state = Interpreter(ds.db.to_env()).run_program(prog)
+        theta_interp = {k.name: v for k, v in state["theta"].items()}
+        assert set(theta_compiled) == set(theta_interp)
+        for k in theta_interp:
+            assert math.isclose(theta_compiled[k], theta_interp[k], rel_tol=1e-8), k

@@ -1,0 +1,37 @@
+"""Metrics."""
+
+import math
+
+import pytest
+
+from repro.db import Relation, RelationSchema
+from repro.ir.types import REAL
+from repro.ml import rmse, rmse_on_relation
+
+
+def test_rmse_zero_for_perfect():
+    assert rmse([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+
+def test_rmse_known_value():
+    assert math.isclose(rmse([0.0, 0.0], [3.0, 4.0]), math.sqrt(12.5))
+
+
+def test_rmse_shape_mismatch():
+    with pytest.raises(ValueError):
+        rmse([1.0], [1.0, 2.0])
+
+
+def test_rmse_empty():
+    with pytest.raises(ValueError):
+        rmse([], [])
+
+
+def test_rmse_on_relation_respects_multiplicity():
+    r = Relation.from_rows(
+        RelationSchema.of("T", [("a", REAL), ("y", REAL)]),
+        [(1.0, 1.0), (1.0, 1.0), (2.0, 4.0)],
+    )
+    # predictor: y_hat = 2a → errors (1, 1, 0) with mult (2 on first)
+    value = rmse_on_relation(lambda rec: 2 * rec["a"], r, "y")
+    assert math.isclose(value, math.sqrt((1 + 1 + 0) / 3))

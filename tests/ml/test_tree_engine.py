@@ -1,0 +1,127 @@
+"""The vectorized tree engine vs the interpreted factorized engine."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.aggregates import build_join_tree, compute_groupby, variance_batch
+from repro.data import retailer, star_schema
+from repro.ml import IFAQRegressionTree
+from repro.ml.regression_tree import Condition
+from repro.ml.tree_engine import VectorizedTreeEngine
+
+
+@pytest.fixture(scope="module")
+def star():
+    return star_schema(n_facts=900, n_dims=2, dim_size=10, attrs_per_dim=1, seed=5)
+
+
+@pytest.fixture(scope="module")
+def engine(star):
+    return VectorizedTreeEngine(star.db, star.query, star.features, star.label)
+
+
+class TestGroupby:
+    def test_matches_interpreted_engine(self, star, engine):
+        tree = build_join_tree(
+            star.db.schema(), star.query.relations, stats=star.db.statistics()
+        )
+        batch = variance_batch(star.label)
+        for feature in star.features:
+            expected = compute_groupby(star.db, tree, batch, feature)
+            values, counts, sums, sums_sq = engine.groupby(feature, engine.full_mask())
+            assert list(values) == sorted(expected)
+            for v, c, s, ss in zip(values, counts, sums, sums_sq):
+                want = expected[v]
+                assert math.isclose(c, want[0], rel_tol=1e-9)
+                assert math.isclose(s, want[1], rel_tol=1e-9)
+                assert math.isclose(ss, want[2], rel_tol=1e-9)
+
+    def test_respects_conditions(self, star, engine):
+        f0 = star.features[0]
+        f1 = star.features[1]
+        threshold = float(np.median(engine.index[f1].values))
+        mask = engine.full_mask() & engine.condition_mask(f1, "<=", threshold)
+
+        tree = build_join_tree(
+            star.db.schema(), star.query.relations, stats=star.db.statistics()
+        )
+        predicates = {
+            # the condition applies on whichever relation owns f1
+            rel: [lambda rec: rec[f1] <= threshold]
+            for rel in star.db.relations
+            if star.db.relation(rel).schema.has_attribute(f1)
+        }
+        expected = compute_groupby(
+            star.db, tree, variance_batch(star.label), f0, predicates
+        )
+        values, counts, sums, _ = engine.groupby(f0, mask)
+        assert list(values) == sorted(expected)
+        for v, c, s in zip(values, counts, sums):
+            assert math.isclose(c, expected[v][0], rel_tol=1e-9)
+            assert math.isclose(s, expected[v][1], rel_tol=1e-9)
+
+    def test_empty_mask_gives_no_groups(self, star, engine):
+        mask = np.zeros(engine.n_facts, dtype=bool)
+        values, counts, sums, sums_sq = engine.groupby(star.features[0], mask)
+        assert len(values) == 0
+
+
+class TestConditionMask:
+    def test_le_and_gt_partition(self, star, engine):
+        f = star.features[0]
+        t = float(np.median(engine.index[f].values))
+        le = engine.condition_mask(f, "<=", t)
+        gt = engine.condition_mask(f, ">", t)
+        assert np.array_equal(le, ~gt)
+
+    def test_unknown_op_raises(self, star, engine):
+        with pytest.raises(ValueError):
+            engine.condition_mask(star.features[0], "~", 0.0)
+
+
+class TestSnowflake:
+    def test_census_hop_resolves(self):
+        """Retailer's Census is two joins from the fact table."""
+        ds = retailer(scale=0.01, seed=4)
+        engine = VectorizedTreeEngine(ds.db, ds.query, ["population"], ds.label)
+        values, counts, _, _ = engine.groupby("population", engine.full_mask())
+        assert counts.sum() == ds.db.relation("Inventory").tuple_count()
+
+    def test_composite_key_weather_resolves(self):
+        ds = retailer(scale=0.01, seed=4)
+        engine = VectorizedTreeEngine(ds.db, ds.query, ["maxtemp"], ds.label)
+        _, counts, _, _ = engine.groupby("maxtemp", engine.full_mask())
+        assert counts.sum() == ds.db.relation("Inventory").tuple_count()
+
+
+class TestEngineEquivalence:
+    def test_vectorized_and_interpreted_learn_identical_trees(self, star):
+        from tests.ml.test_regression_tree import trees_equal
+
+        vec = IFAQRegressionTree(
+            star.features, star.label, max_depth=3, method="vectorized"
+        ).fit(star.db, star.query)
+        interp = IFAQRegressionTree(
+            star.features, star.label, max_depth=3, method="interpreted"
+        ).fit(star.db, star.query)
+        assert trees_equal(vec.root_, interp.root_)
+
+    def test_max_thresholds_consistency(self, star):
+        from tests.ml.test_regression_tree import trees_equal
+
+        vec = IFAQRegressionTree(
+            star.features, star.label, max_depth=2, max_thresholds=4
+        ).fit(star.db, star.query)
+        interp = IFAQRegressionTree(
+            star.features, star.label, max_depth=2, max_thresholds=4,
+            method="interpreted",
+        ).fit(star.db, star.query)
+        assert trees_equal(vec.root_, interp.root_)
+
+    def test_unknown_method_raises(self, star):
+        with pytest.raises(ValueError):
+            IFAQRegressionTree(star.features, star.label, method="wat").fit(
+                star.db, star.query
+            )

@@ -1,0 +1,87 @@
+"""Factorization rules (Figure 4c) — including Example 4.3."""
+
+from repro.interp import evaluate
+from repro.ir.builders import V, dom, set_lit, sum_over
+from repro.ir.expr import Add, Const, Mul, Neg, Sum
+from repro.opt.factorization import (
+    FACTORIZATION_RULES,
+    build_product,
+    factor_common_add,
+    flatten_product,
+    hoist_from_sum,
+)
+from repro.opt.rewriter import rewrite_fixpoint
+
+
+class TestFlatten:
+    def test_flatten_nested(self):
+        e = Mul(Mul(V("a"), V("b")), V("c"))
+        assert flatten_product(e) == [V("a"), V("b"), V("c")]
+
+    def test_neg_becomes_minus_one_factor(self):
+        assert flatten_product(Neg(V("a"))) == [Const(-1), V("a")]
+
+    def test_build_product_empty_is_one(self):
+        assert build_product([]) == Const(1)
+
+    def test_build_roundtrip(self):
+        fs = [V("a"), V("b"), V("c")]
+        assert flatten_product(build_product(fs)) == fs
+
+
+class TestCommonFactor:
+    def test_factor_left(self):
+        e = Add(Mul(V("a"), V("b")), Mul(V("a"), V("c")))
+        assert factor_common_add(e) == Mul(V("a"), Add(V("b"), V("c")))
+
+    def test_factor_buried_in_chain(self):
+        e = Add(Mul(Mul(V("k"), V("a")), V("b")), Mul(V("a"), V("c")))
+        out = factor_common_add(e)
+        assert out is not None
+        assert evaluate(out, {"k": 2, "a": 3, "b": 5, "c": 7}) == evaluate(
+            e, {"k": 2, "a": 3, "b": 5, "c": 7}
+        )
+
+    def test_no_common_factor(self):
+        assert factor_common_add(Add(Mul(V("a"), V("b")), Mul(V("c"), V("d")))) is None
+
+
+class TestHoistFromSum:
+    def test_hoists_independent_factor(self):
+        e = sum_over("x", V("d"), Mul(V("a"), V("x")))
+        out = hoist_from_sum(e)
+        assert out == Mul(V("a"), Sum("x", V("d"), V("x")))
+
+    def test_keeps_dependent_factors_inside(self):
+        e = sum_over("x", V("d"), Mul(V("x"), V("x")))
+        assert hoist_from_sum(e) is None
+
+    def test_all_independent_not_hoisted(self):
+        # Σ_x a  has no dependent factor left: rule does not apply
+        # (hoisting would change the result by the domain cardinality).
+        e = sum_over("x", V("d"), Mul(V("a"), V("b")))
+        assert hoist_from_sum(e) is None
+
+    def test_hoists_neg_scale(self):
+        e = sum_over("x", V("d"), Neg(Mul(V("scale"), V("x"))))
+        out = hoist_from_sum(e)
+        assert out is not None
+        env = {"d": evaluate(set_lit(1.0, 2.0)), "scale": 3.0}
+        assert evaluate(out, env) == evaluate(e, env) == -9.0
+
+
+class TestExample43:
+    def test_theta_hoisted_outside_data_loop(self):
+        """Example 4.3: θ(f2) leaves the Σ over dom(Q)."""
+        from repro.ir.expr import Lookup
+
+        inner = sum_over(
+            "x", dom(V("Q")),
+            Lookup(V("Q"), V("x")) * Lookup(V("theta"), V("f2"))
+            * V("x").at(V("f2")) * V("x").at(V("f1")),
+        )
+        out = rewrite_fixpoint(inner, FACTORIZATION_RULES)
+        # result: θ(f2) * Σ_x Q(x)·x[f2]·x[f1]
+        assert isinstance(out, Mul)
+        assert out.left == Lookup(V("theta"), V("f2"))
+        assert isinstance(out.right, Sum)

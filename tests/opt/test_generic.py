@@ -1,0 +1,86 @@
+"""Generic cleanup rules (Figure 4i) and constant folding."""
+
+from repro.interp import evaluate
+from repro.ir.builders import V, let, sum_over
+from repro.ir.expr import Add, Const, Let, Mul, Neg, Var
+from repro.opt.generic import (
+    cse_adjacent_lets,
+    dead_let,
+    flatten_let,
+    fold_constants,
+    inline_single_use_let,
+    inline_trivial_let,
+)
+
+
+class TestLetRules:
+    def test_inline_trivial_var(self):
+        assert inline_trivial_let(let("x", V("a"), V("x") + V("x"))) == V("a") + V("a")
+
+    def test_inline_trivial_const(self):
+        assert inline_trivial_let(let("x", Const(3), V("x"))) == Const(3)
+
+    def test_dead_let(self):
+        assert dead_let(let("x", V("big"), V("y"))) == V("y")
+
+    def test_dead_let_keeps_used(self):
+        assert dead_let(let("x", V("a"), V("x"))) is None
+
+    def test_inline_single_use(self):
+        e = let("x", V("a") * V("b"), V("x") + V("c"))
+        assert inline_single_use_let(e) == (V("a") * V("b")) + V("c")
+
+    def test_single_use_respects_shadowing(self):
+        # inner let rebinds x: the only use is shadowed, count = 0 → no inline
+        e = let("x", V("a"), let("x", Const(1), V("x")))
+        assert inline_single_use_let(e) is None
+
+    def test_no_inline_multiple_uses(self):
+        e = let("x", V("a") * V("b"), V("x") + V("x"))
+        assert inline_single_use_let(e) is None
+
+    def test_flatten_let(self):
+        e = let("x", let("y", Const(1), V("y") + 1), V("x") * 2)
+        out = flatten_let(e)
+        assert isinstance(out, Let) and isinstance(out.body, Let)
+        assert evaluate(out) == evaluate(e) == 4
+
+    def test_flatten_renames_on_clash(self):
+        e = let("x", let("y", Const(1), V("y")), V("x") + V("y"))
+        out = flatten_let(e)
+        assert out is not None
+        assert evaluate(out, {"y": 10}) == evaluate(e, {"y": 10}) == 11
+
+    def test_cse_adjacent(self):
+        e = let("x", V("a") * V("a"), let("y", V("a") * V("a"), V("x") + V("y")))
+        out = cse_adjacent_lets(e)
+        assert isinstance(out, Let)
+        assert not isinstance(out.body, Let)
+        assert evaluate(out, {"a": 3}) == 18
+
+
+class TestConstantFolding:
+    def test_add_consts(self):
+        assert fold_constants(Add(Const(2), Const(3))) == Const(5)
+
+    def test_mul_consts(self):
+        assert fold_constants(Mul(Const(2), Const(3))) == Const(6)
+
+    def test_identities(self):
+        assert fold_constants(Add(Const(0), V("a"))) == V("a")
+        assert fold_constants(Add(V("a"), Const(0))) == V("a")
+        assert fold_constants(Mul(Const(1), V("a"))) == V("a")
+        assert fold_constants(Mul(V("a"), Const(1))) == V("a")
+
+    def test_annihilator(self):
+        assert fold_constants(Mul(Const(0), V("a"))) == Const(0)
+
+    def test_double_negation(self):
+        assert fold_constants(Neg(Neg(V("a")))) == V("a")
+
+    def test_neg_const(self):
+        assert fold_constants(Neg(Const(3))) == Const(-3)
+
+    def test_bool_consts_not_folded_arithmetically(self):
+        out = fold_constants(Add(Const(True), Const(True)))
+        assert out is None or out == Add(Const(True), Const(True))

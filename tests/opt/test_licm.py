@@ -1,0 +1,125 @@
+"""Loop-invariant code motion (Figure 4e) — including Example 4.5."""
+
+from repro.interp import Interpreter, evaluate, run_program
+from repro.ir.builders import V, dict_build, dom, let, rec, set_lit, sum_over
+from repro.ir.expr import Cmp, Const, Let, Mul, RecordLit, Sum, Var
+from repro.ir.program import Program
+from repro.opt.licm import LICM_RULES, float_let_upward, hoist_loop_invariants, let_out_of_loop
+from repro.opt.rewriter import rewrite_fixpoint
+
+
+class TestLetOutOfLoop:
+    def test_hoists_invariant_let(self):
+        e = sum_over("x", V("d"), let("y", V("a") * 2, V("y") + V("x")))
+        out = let_out_of_loop(e)
+        assert isinstance(out, Let)
+        assert isinstance(out.body, Sum)
+
+    def test_keeps_dependent_let(self):
+        e = sum_over("x", V("d"), let("y", V("x") * 2, V("y")))
+        assert let_out_of_loop(e) is None
+
+    def test_renames_on_domain_clash(self):
+        e = sum_over("x", dom(V("y")), let("y", Const(1), V("y") + V("x").dot("v")))
+        out = let_out_of_loop(e)
+        assert isinstance(out, Let)
+        assert out.var != "y"
+
+    def test_dict_build_variant(self):
+        e = dict_build("f", V("F"), let("y", V("a"), V("y")))
+        out = let_out_of_loop(e)
+        assert isinstance(out, Let)
+
+    def test_semantics(self):
+        e = sum_over("x", set_lit(1, 2, 3), let("y", V("a") * 2, V("y") + V("x")))
+        out = rewrite_fixpoint(e, LICM_RULES)
+        assert evaluate(e, {"a": 5}) == evaluate(out, {"a": 5}) == 36
+
+
+class TestFloatLetUpward:
+    def test_floats_out_of_mul(self):
+        e = Mul(let("y", V("a"), V("y")), V("b"))
+        out = float_let_upward(e)
+        assert isinstance(out, Let)
+        assert out.body == Mul(V("y"), V("b"))
+
+    def test_floats_out_of_record(self):
+        e = rec(theta=let("m", V("a"), V("m")), it=V("k"))
+        out = float_let_upward(e)
+        assert isinstance(out, Let)
+        assert isinstance(out.body, RecordLit)
+
+    def test_renames_on_sibling_clash(self):
+        e = Mul(let("y", V("a"), V("y")), V("y"))
+        out = float_let_upward(e)
+        assert isinstance(out, Let)
+        assert out.var != "y"
+        assert evaluate(out, {"a": 3, "y": 5}) == 15
+
+    def test_does_not_float_out_of_if_branches(self):
+        from repro.ir.builders import if_
+
+        e = if_(V("c"), let("y", V("a"), V("y")), Const(0))
+        assert float_let_upward(e) is None
+
+
+class TestProgramHoisting:
+    def test_example_45_invariant_let_moves_to_inits(self):
+        """Figure 4e, second rule: the memo table leaves the while body."""
+        body = let("M", sum_over("x", dom(V("Q")), V("Q")(V("x"))), V("state") + V("M"))
+        p = Program(
+            inits=(("Q", V("db_rel")),),
+            state="state",
+            init=Const(0.0),
+            cond=Cmp("<", V("state"), Const(100)),
+            body=body,
+        )
+        out = hoist_loop_invariants(p)
+        assert [name for name, _ in out.inits] == ["Q", "M"]
+        assert not isinstance(out.body, Let)
+
+    def test_state_dependent_let_stays(self):
+        body = let("d", V("state") * 2, V("d"))
+        p = Program((), "state", Const(1.0), Cmp("<", V("state"), Const(8)), body)
+        out = hoist_loop_invariants(p)
+        assert out.inits == ()
+        assert isinstance(out.body, Let)
+
+    def test_name_collision_with_existing_init_renamed(self):
+        body = let("Q", Const(5), V("state") + V("Q"))
+        p = Program(
+            inits=(("Q", Const(1)),),
+            state="state",
+            init=V("Q"),
+            cond=Cmp("<", V("state"), Const(3)),
+            body=body,
+        )
+        out = hoist_loop_invariants(p)
+        names = [name for name, _ in out.inits]
+        assert names[0] == "Q" and len(names) == 2 and names[1] != "Q"
+        # semantics: state starts at 1, adds 5 until >= 3  → 1+5 = 6
+        assert run_program(out) == run_program(p) == 6
+
+    def test_hoisted_program_runs_loop_body_once_per_iteration(self):
+        """The point of the optimization: the invariant is computed once."""
+        from repro.runtime.values import DictValue, RecordValue
+
+        q = DictValue({RecordValue({"v": float(i)}): 1 for i in range(50)})
+        body = let(
+            "M",
+            sum_over("x", dom(V("Q")), V("Q")(V("x")) * V("x").dot("v")),
+            V("state") + V("M"),
+        )
+        p = Program(
+            inits=(),
+            state="state",
+            init=Const(0.0),
+            cond=Cmp("<", V("state"), Const(10_000.0)),
+            body=body,
+        )
+        out = hoist_loop_invariants(Program(p.inits, p.state, p.init, p.cond, p.body))
+
+        i_plain = Interpreter({"Q": q})
+        i_hoisted = Interpreter({"Q": q})
+        assert i_plain.run_program(p) == i_hoisted.run_program(out)
+        assert i_hoisted.stats.loop_iterations < i_plain.stats.loop_iterations

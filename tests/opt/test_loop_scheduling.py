@@ -1,0 +1,76 @@
+"""Loop scheduling (Figure 4b) — including Example 4.2."""
+
+from repro.interp import evaluate
+from repro.ir.builders import V, dom, fields, set_lit, sum_over
+from repro.ir.expr import Sum
+from repro.opt.cardinality import CardinalityEstimator
+from repro.opt.loop_scheduling import make_loop_scheduling_rule
+from repro.opt.rewriter import rewrite_fixpoint
+from repro.runtime.values import DictValue, RecordValue
+
+
+def make_rule(stats=None, let_sizes=None):
+    est = CardinalityEstimator(stats=stats or {})
+    est.let_sizes.update(let_sizes or {})
+    return make_loop_scheduling_rule(est), est
+
+
+class TestSwap:
+    def test_swaps_when_outer_larger(self):
+        rule, _ = make_rule(stats={"Q": 1000}, let_sizes={"F": 4})
+        e = sum_over("x", dom(V("Q")), sum_over("f", V("F"), V("x") * V("f")))
+        out = rule(e)
+        assert isinstance(out, Sum)
+        assert out.var == "f"
+        assert isinstance(out.body, Sum)
+        assert out.body.var == "x"
+
+    def test_no_swap_when_outer_smaller(self):
+        rule, _ = make_rule(stats={"Q": 1000}, let_sizes={"F": 4})
+        e = sum_over("f", V("F"), sum_over("x", dom(V("Q")), V("x") * V("f")))
+        assert rule(e) is None
+
+    def test_unknown_domains_treated_as_large(self):
+        rule, _ = make_rule(let_sizes={"F": 4})
+        e = sum_over("x", dom(V("Mystery")), sum_over("f", V("F"), V("f")))
+        out = rule(e)
+        assert isinstance(out, Sum) and out.var == "f"
+
+    def test_no_swap_when_domains_dependent(self):
+        rule, _ = make_rule(stats={"Q": 1000}, let_sizes={"F": 4})
+        # inner domain depends on the outer variable: must not swap
+        e = sum_over("x", dom(V("Q")), sum_over("f", dom(V("x")), V("f")))
+        assert rule(e) is None
+
+    def test_set_literal_sizes_are_exact(self):
+        rule, _ = make_rule(stats={"Q": 2})
+        # Q (2 tuples) is smaller than the 3-element literal: no swap.
+        e = sum_over("x", dom(V("Q")), sum_over("f", set_lit(1, 2, 3), V("f")))
+        assert rule(e) is None
+
+    def test_semantics_preserved(self):
+        rule, _ = make_rule(stats={"Q": 10}, let_sizes={})
+        env = {
+            "Q": DictValue({RecordValue({"v": float(i)}): 1 for i in range(10)}),
+        }
+        e = sum_over(
+            "x", dom(V("Q")),
+            sum_over("f", set_lit(1.0, 2.0), V("x").dot("v") * V("f")),
+        )
+        out = rewrite_fixpoint(e, (rule,))
+        assert evaluate(e, env) == evaluate(out, env)
+
+
+class TestEstimator:
+    def test_estimates(self):
+        _, est = make_rule(stats={"Q": 55}, let_sizes={"F": 4})
+        assert est.estimate(set_lit(1, 2)) == 2
+        assert est.estimate(dom(V("Q"))) == 55
+        assert est.estimate(V("F")) == 4
+        assert est.estimate(V("unknown")) is None
+
+    def test_static_domain_detection(self):
+        _, est = make_rule(let_sizes={"F": 4})
+        assert est.is_static_domain(fields("a", "b"))
+        assert est.is_static_domain(V("F"))
+        assert not est.is_static_domain(dom(V("Q")))

@@ -1,0 +1,97 @@
+"""Normalization rules (Figure 4a) — including Example 4.1."""
+
+from repro.interp import evaluate
+from repro.ir.builders import V, dict_lit, dom, set_lit, sum_over
+from repro.ir.expr import Add, Mul, Neg, Sum, Var
+from repro.opt.normalization import (
+    NORMALIZATION_RULES,
+    distribute_mul_over_add,
+    mul_neg,
+    neg_sum,
+    push_mul_into_sum,
+    split_sum_over_add,
+)
+from repro.opt.rewriter import rewrite_fixpoint
+from repro.runtime.values import DictValue
+
+
+class TestDistribute:
+    def test_right_add(self):
+        e = Mul(V("a"), Add(V("b"), V("c")))
+        assert distribute_mul_over_add(e) == Add(
+            Mul(V("a"), V("b")), Mul(V("a"), V("c"))
+        )
+
+    def test_left_add(self):
+        e = Mul(Add(V("b"), V("c")), V("a"))
+        assert distribute_mul_over_add(e) == Add(
+            Mul(V("b"), V("a")), Mul(V("c"), V("a"))
+        )
+
+    def test_no_match(self):
+        assert distribute_mul_over_add(Mul(V("a"), V("b"))) is None
+
+
+class TestPushMulIntoSum:
+    def test_push_right(self):
+        s = sum_over("x", V("d"), V("x"))
+        out = push_mul_into_sum(Mul(V("a"), s))
+        assert out == Sum("x", V("d"), Mul(V("a"), V("x")))
+
+    def test_push_left(self):
+        s = sum_over("x", V("d"), V("x"))
+        out = push_mul_into_sum(Mul(s, V("a")))
+        assert out == Sum("x", V("d"), Mul(V("x"), V("a")))
+
+    def test_capture_avoidance(self):
+        # x is free in the other operand: binder must be renamed.
+        s = sum_over("x", V("d"), V("x"))
+        out = push_mul_into_sum(Mul(V("x"), s))
+        assert isinstance(out, Sum)
+        assert out.var != "x"
+
+    def test_semantics_preserved(self):
+        env = {"d": DictValue({1: 1, 2: 1, 3: 1})}
+        e = Mul(V("k"), sum_over("x", dom(V("d")), V("x")))
+        env["k"] = 10
+        out = rewrite_fixpoint(e, NORMALIZATION_RULES)
+        assert evaluate(e, env) == evaluate(out, env) == 60
+
+
+class TestNegRules:
+    def test_mul_neg_right(self):
+        assert mul_neg(Mul(V("a"), Neg(V("b")))) == Neg(Mul(V("a"), V("b")))
+
+    def test_mul_neg_left(self):
+        assert mul_neg(Mul(Neg(V("a")), V("b"))) == Neg(Mul(V("a"), V("b")))
+
+    def test_neg_sum(self):
+        s = sum_over("x", V("d"), V("x"))
+        assert neg_sum(Neg(s)) == Sum("x", V("d"), Neg(V("x")))
+
+
+class TestSplitSum:
+    def test_split(self):
+        e = sum_over("x", V("d"), Add(V("x"), V("y")))
+        out = split_sum_over_add(e)
+        assert out == Add(
+            Sum("x", V("d"), V("x")), Sum("x", V("d"), V("y"))
+        )
+
+    def test_semantics(self):
+        e = sum_over("x", set_lit(1, 2), Add(V("x"), V("x") * V("x")))
+        out = rewrite_fixpoint(e, NORMALIZATION_RULES)
+        assert evaluate(e) == evaluate(out) == 8
+
+
+class TestExample41:
+    def test_product_pushed_into_inner_sum(self):
+        """Example 4.1: x[f1] moves inside the sum over f2."""
+        from repro.ir.expr import Lookup
+
+        inner = sum_over("f2", V("F"), Lookup(V("theta"), V("f2")) * V("x").at(V("f2")))
+        e = Mul(Mul(V("Qx"), inner), V("xf1"))
+        out = rewrite_fixpoint(e, NORMALIZATION_RULES)
+        # after normalization the outermost node is the Σ over f2
+        assert isinstance(out, Sum)
+        assert out.var == "f2"

@@ -1,0 +1,71 @@
+"""The rewrite engine: fixpoints, logging, divergence guards."""
+
+import pytest
+
+from repro.ir.builders import V
+from repro.ir.expr import Add, Const, Expr, Mul
+from repro.opt.rewriter import (
+    RewriteBudgetExceeded,
+    RewriteLog,
+    Rule,
+    rewrite_fixpoint,
+    rewrite_once,
+    rule,
+)
+
+
+@rule("test/fold-add")
+def fold_add(e: Expr):
+    if isinstance(e, Add) and isinstance(e.left, Const) and isinstance(e.right, Const):
+        return Const(e.left.value + e.right.value)
+    return None
+
+
+def test_rewrite_once_applies_bottom_up():
+    e = Add(Add(Const(1), Const(2)), Const(3))
+    out, changed = rewrite_once(e, [fold_add])
+    assert changed
+    assert out == Const(6)  # inner fold enables the outer in one sweep
+
+
+def test_fixpoint_terminates_and_logs():
+    log = RewriteLog()
+    e = Add(Add(Const(1), Const(2)), Add(Const(3), Const(4)))
+    out = rewrite_fixpoint(e, [fold_add], log)
+    assert out == Const(10)
+    assert log.count("test/fold-add") == 3
+    assert len(log) == 3
+
+
+def test_no_change_returns_same():
+    e = Mul(V("a"), V("b"))
+    out, changed = rewrite_once(e, [fold_add])
+    assert not changed
+    assert out == e
+
+
+def test_diverging_rule_hits_growth_guard():
+    @rule("test/duplicate")
+    def duplicate(e: Expr):
+        if isinstance(e, Mul):
+            return Add(Mul(e.left, e.right), Mul(e.left, e.right))
+        return None
+
+    with pytest.raises(RewriteBudgetExceeded):
+        rewrite_fixpoint(Mul(V("a"), V("b")), [duplicate])
+
+
+def test_oscillating_rules_hit_sweep_guard():
+    @rule("test/swap")
+    def swap(e: Expr):
+        if isinstance(e, Add):
+            return Add(e.right, e.left)
+        return None
+
+    with pytest.raises(RewriteBudgetExceeded):
+        rewrite_fixpoint(Add(V("a"), V("b")), [swap], max_sweeps=5)
+
+
+def test_rule_decorator_names():
+    assert fold_add.name == "test/fold-add"
+    assert isinstance(fold_add, Rule)

@@ -1,0 +1,108 @@
+"""Unit tests for the polymorphic ring operations used by Σ."""
+
+import pytest
+
+from repro.runtime.rings import is_zero, truthy, v_add, v_mul, v_neg
+from repro.runtime.values import DictValue, RecordValue, SetValue
+
+
+class TestAddition:
+    def test_numbers(self):
+        assert v_add(2, 3) == 5
+        assert v_add(2.5, 0.5) == 3.0
+
+    def test_booleans_coerce(self):
+        assert v_add(True, True) == 2
+
+    def test_scalar_zero_is_polymorphic_identity(self):
+        d = DictValue({"k": 1})
+        assert v_add(0, d) == d
+        assert v_add(d, 0) == d
+
+    def test_records_pointwise(self):
+        a = RecordValue({"x": 1, "y": 2.0})
+        b = RecordValue({"x": 10, "y": 0.5})
+        assert v_add(a, b) == RecordValue({"x": 11, "y": 2.5})
+
+    def test_record_field_mismatch_raises(self):
+        with pytest.raises(TypeError):
+            v_add(RecordValue({"x": 1}), RecordValue({"y": 1}))
+
+    def test_dicts_merge_bag_union(self):
+        a = DictValue({"k": 2, "j": 1})
+        b = DictValue({"k": 3, "m": 4})
+        assert v_add(a, b) == DictValue({"k": 5, "j": 1, "m": 4})
+
+    def test_dict_merge_drops_zero_entries(self):
+        a = DictValue({"k": 2})
+        b = DictValue({"k": -2})
+        assert v_add(a, b) == DictValue({})
+
+    def test_dict_merge_skips_incoming_zeros(self):
+        assert v_add(DictValue({}), DictValue({"k": 0})) == DictValue({})
+
+    def test_sets_union(self):
+        assert v_add(SetValue([1]), SetValue([2, 1])) == SetValue([1, 2])
+
+    def test_incompatible_raises(self):
+        with pytest.raises(TypeError):
+            v_add(SetValue([1]), DictValue({}))
+
+
+class TestMultiplication:
+    def test_numbers(self):
+        assert v_mul(3, 4) == 12
+
+    def test_bool_as_indicator(self):
+        assert v_mul(True, 5) == 5
+        assert v_mul(False, 5) == 0
+
+    def test_scalar_scales_record(self):
+        r = RecordValue({"x": 2.0, "y": 3.0})
+        assert v_mul(2, r) == RecordValue({"x": 4.0, "y": 6.0})
+        assert v_mul(r, 2) == RecordValue({"x": 4.0, "y": 6.0})
+
+    def test_scalar_scales_dict(self):
+        d = DictValue({"k": 3})
+        assert v_mul(2, d) == DictValue({"k": 6})
+
+    def test_zero_annihilates_collections(self):
+        assert v_mul(0, DictValue({"k": 3})) == 0
+
+    def test_records_pointwise(self):
+        a = RecordValue({"x": 2.0, "y": 3.0})
+        b = RecordValue({"x": 5.0, "y": 7.0})
+        assert v_mul(a, b) == RecordValue({"x": 10.0, "y": 21.0})
+
+    def test_dicts_intersect_pointwise(self):
+        a = DictValue({"k": 2, "j": 1})
+        b = DictValue({"k": 3, "m": 9})
+        assert v_mul(a, b) == DictValue({"k": 6})
+
+    def test_set_scaling_raises(self):
+        with pytest.raises(TypeError):
+            v_mul(2, SetValue([1]))
+
+
+class TestNegationZeroTruthy:
+    def test_neg(self):
+        assert v_neg(3) == -3
+        assert v_neg(RecordValue({"x": 1})) == RecordValue({"x": -1})
+        assert v_neg(DictValue({"k": 2})) == DictValue({"k": -2})
+
+    def test_is_zero(self):
+        assert is_zero(0)
+        assert is_zero(0.0)
+        assert is_zero(False)
+        assert is_zero(DictValue({}))
+        assert is_zero(SetValue([]))
+        assert is_zero(RecordValue({"x": 0}))
+        assert not is_zero(RecordValue({"x": 1}))
+        assert not is_zero(1)
+
+    def test_truthy(self):
+        assert truthy(True)
+        assert truthy(2)
+        assert not truthy(0.0)
+        with pytest.raises(TypeError):
+            truthy(DictValue({}))

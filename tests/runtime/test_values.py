@@ -1,0 +1,91 @@
+"""Unit tests for the runtime value model."""
+
+import pytest
+
+from repro.runtime.values import (
+    DictValue,
+    FieldValue,
+    RecordValue,
+    SetValue,
+    VariantValue,
+)
+
+
+class TestFieldValue:
+    def test_equality_and_hash(self):
+        assert FieldValue("a") == FieldValue("a")
+        assert FieldValue("a") != FieldValue("b")
+        assert hash(FieldValue("a")) == hash(FieldValue("a"))
+
+    def test_distinct_from_plain_string(self):
+        assert FieldValue("a") != "a"
+
+
+class TestRecordValue:
+    def test_mapping_interface(self):
+        r = RecordValue({"a": 1, "b": 2.5})
+        assert r["a"] == 1
+        assert len(r) == 2
+        assert list(r) == ["a", "b"]
+
+    def test_hashable_and_usable_as_key(self):
+        r1 = RecordValue({"a": 1})
+        r2 = RecordValue({"a": 1})
+        assert hash(r1) == hash(r2)
+        assert {r1: "x"}[r2] == "x"
+
+    def test_equality_ignores_declaration_order(self):
+        assert RecordValue({"a": 1, "b": 2}) == RecordValue({"b": 2, "a": 1})
+
+    def test_project(self):
+        r = RecordValue({"a": 1, "b": 2, "c": 3})
+        assert r.project(["c", "a"]) == RecordValue({"c": 3, "a": 1})
+        assert r.project(["c", "a"]).field_names() == ("c", "a")
+
+    def test_from_pairs(self):
+        r = RecordValue([("x", 1), ("y", 2)])
+        assert r.field_names() == ("x", "y")
+
+
+class TestVariantValue:
+    def test_equality(self):
+        assert VariantValue("t", 1) == VariantValue("t", 1)
+        assert VariantValue("t", 1) != VariantValue("u", 1)
+
+    def test_hashable(self):
+        assert hash(VariantValue("t", 1)) == hash(VariantValue("t", 1))
+
+
+class TestDictValue:
+    def test_get_defaults_to_ring_zero(self):
+        d = DictValue({"k": 5})
+        assert d.get("missing") == 0
+        assert d.get("k") == 5
+
+    def test_mapping_interface(self):
+        d = DictValue({"a": 1, "b": 2})
+        assert set(d.keys()) == {"a", "b"}
+        assert len(d) == 2
+        assert "a" in d
+
+    def test_equality(self):
+        assert DictValue({"a": 1}) == DictValue({"a": 1})
+        assert DictValue({"a": 1}) != DictValue({"a": 2})
+
+    def test_from_pairs(self):
+        d = DictValue([("a", 1)])
+        assert d["a"] == 1
+
+
+class TestSetValue:
+    def test_insertion_order_preserved(self):
+        s = SetValue(["b", "a", "b"])
+        assert s.elements() == ("b", "a")
+
+    def test_membership_and_len(self):
+        s = SetValue([1, 2])
+        assert 1 in s
+        assert len(s) == 2
+
+    def test_equality_is_order_insensitive(self):
+        assert SetValue([1, 2]) == SetValue([2, 1])

@@ -1,0 +1,133 @@
+"""Schema specialization (Figure 4g) — including Example 4.6."""
+
+from repro.db import JoinQuery
+from repro.interp import Interpreter, evaluate
+from repro.ir.builders import V, dict_build, dict_lit, fields, fld, rec
+from repro.ir.expr import (
+    DictBuild,
+    DictLit,
+    DynFieldAccess,
+    FieldAccess,
+    FieldLit,
+    Lookup,
+    RecordLit,
+)
+from repro.ir.traversal import subexpressions
+from repro.ml.programs import linear_regression_bgd
+from repro.opt import high_level_optimize
+from repro.typing.specialize import (
+    dictlit_to_record,
+    dyn_to_static_access,
+    schema_specialize,
+    specialize_expr,
+)
+from repro.typing.typecheck import typecheck_program
+
+
+class TestSyntacticRules:
+    def test_dictlit_with_field_keys_becomes_record(self):
+        d = dict_lit((fld("i"), 0.0), (fld("s"), 1.0))
+        out = dictlit_to_record(d)
+        assert out == RecordLit((("i", _const(0.0)), ("s", _const(1.0))))
+
+    def test_dictlit_with_mixed_keys_untouched(self):
+        d = dict_lit((fld("i"), 0.0), ("plain", 1.0))
+        assert dictlit_to_record(d) is None
+
+    def test_dyn_access_with_field_literal(self):
+        e = V("x").at(fld("price"))
+        assert dyn_to_static_access(e) == FieldAccess(V("x"), "price")
+
+    def test_dyn_access_with_variable_key_untouched(self):
+        assert dyn_to_static_access(V("x").at(V("f"))) is None
+
+
+def _const(v):
+    from repro.ir.expr import Const
+
+    return Const(v)
+
+
+class TestSpecializeExpr:
+    def test_lambda_over_fields_becomes_record(self):
+        e = dict_build("f", fields("a", "b"), V("x").at(V("f")))
+        out = specialize_expr(e, {})
+        assert isinstance(out, RecordLit)
+        assert out.field_names() == ("a", "b")
+        # bodies became static accesses
+        assert out.field_expr("a") == FieldAccess(V("x"), "a")
+
+    def test_lookup_on_record_var_becomes_access(self):
+        from repro.ir.builders import let
+
+        e = let("theta", dict_lit((fld("a"), 1.0)), Lookup(V("theta"), fld("a")))
+        out = specialize_expr(e, {})
+        assert all(not isinstance(n, Lookup) for n in subexpressions(out))
+        assert evaluate(out) == 1.0
+
+    def test_nested_lookup_chain(self):
+        from repro.ir.builders import let
+
+        table = dict_lit((fld("a"), dict_lit((fld("b"), 7.0))))
+        e = let("m", table, Lookup(Lookup(V("m"), fld("a")), fld("b")))
+        out = specialize_expr(e, {})
+        assert evaluate(out) == 7.0
+        assert all(not isinstance(n, Lookup) for n in subexpressions(out))
+
+
+class TestExample46FullProgram:
+    def test_lr_program_specializes_to_records(self, paper_db, paper_query):
+        prog = linear_regression_bgd(
+            paper_db.schema(), paper_query, ["cityf", "price"], "units",
+            iterations=3, alpha=0.01,
+        )
+        optimized = high_level_optimize(prog, stats=paper_db.statistics())
+        rel_types = {r.name: r.schema.ifaq_type() for r in paper_db}
+        spec = schema_specialize(optimized, rel_types)
+
+        # no residual dynamic features anywhere
+        for _, value in spec.inits:
+            for n in subexpressions(value):
+                assert not isinstance(n, (FieldLit, DynFieldAccess, DictBuild))
+        for n in subexpressions(spec.body):
+            assert not isinstance(n, (FieldLit, DynFieldAccess, DictBuild))
+
+        # the covar matrix is now a nested record
+        tables = dict(spec.inits)
+        memo_names = [n for n in tables if n.startswith("memo")]
+        assert any(isinstance(tables[n], RecordLit) for n in memo_names)
+
+    def test_specialized_program_typechecks(self, paper_db, paper_query):
+        prog = linear_regression_bgd(
+            paper_db.schema(), paper_query, ["cityf", "price"], "units",
+            iterations=3, alpha=0.01,
+        )
+        optimized = high_level_optimize(prog, stats=paper_db.statistics())
+        rel_types = {r.name: r.schema.ifaq_type() for r in paper_db}
+        spec = schema_specialize(optimized, rel_types)
+        state_t = typecheck_program(spec, rel_types)
+        from repro.ir.types import RecordType
+
+        assert isinstance(state_t, RecordType)
+        assert state_t.has_field("theta")
+
+    def test_specialization_preserves_semantics(self, paper_db, paper_query):
+        from repro.runtime.values import FieldValue
+
+        prog = linear_regression_bgd(
+            paper_db.schema(), paper_query, ["cityf", "price"], "units",
+            iterations=3, alpha=0.01,
+        )
+        optimized = high_level_optimize(prog, stats=paper_db.statistics())
+        rel_types = {r.name: r.schema.ifaq_type() for r in paper_db}
+        spec = schema_specialize(optimized, rel_types)
+
+        import math
+
+        r_dyn = Interpreter(paper_db.to_env()).run_program(prog)
+        r_spec = Interpreter(paper_db.to_env()).run_program(spec)
+        theta_dyn = {k.name: v for k, v in r_dyn["theta"].items()}
+        theta_spec = dict(r_spec["theta"].items())
+        assert set(theta_dyn) == set(theta_spec)
+        for k in theta_dyn:
+            assert math.isclose(theta_dyn[k], theta_spec[k], rel_tol=1e-9)

@@ -1,0 +1,148 @@
+"""S-IFAQ type inference and strict checking."""
+
+import pytest
+
+from repro.ir.builders import (
+    V,
+    dict_build,
+    dict_lit,
+    dom,
+    fields,
+    fld,
+    if_,
+    let,
+    rec,
+    set_lit,
+    sum_over,
+)
+from repro.ir.expr import BinOp, Cmp, Const, Neg, UnaryOp
+from repro.ir.types import (
+    BOOL,
+    DYN,
+    INT,
+    REAL,
+    STRING,
+    DictType,
+    RecordType,
+    SetType,
+    relation_type,
+)
+from repro.typing.typecheck import IFAQTypeError, infer_type, typecheck
+
+
+class TestInference:
+    def test_constants(self):
+        assert infer_type(Const(1)) == INT
+        assert infer_type(Const(1.5)) == REAL
+        assert infer_type(Const(True)) == BOOL
+        assert infer_type(Const("s")) == STRING
+
+    def test_arith_promotion(self):
+        assert infer_type(Const(1) + Const(2)) == INT
+        assert infer_type(Const(1) + Const(2.0)) == REAL
+        assert infer_type(Neg(Const(2.0))) == REAL
+
+    def test_scalar_scales_collection(self):
+        d = dict_lit(("k", 1.0))
+        assert isinstance(infer_type(Const(2) * d), DictType)
+
+    def test_cmp_is_bool(self):
+        assert infer_type(Cmp("<", Const(1), Const(2))) == BOOL
+
+    def test_div_is_real(self):
+        assert infer_type(BinOp("div", Const(1), Const(2))) == REAL
+
+    def test_record(self):
+        t = infer_type(rec(a=Const(1), b=Const(2.0)))
+        assert t == RecordType((("a", INT), ("b", REAL)))
+
+    def test_field_access(self):
+        assert infer_type(rec(a=Const(1.5)).dot("a")) == REAL
+
+    def test_set_and_dict_literals(self):
+        assert infer_type(set_lit(1, 2)) == SetType(INT)
+        assert infer_type(dict_lit(("k", 1.0))) == DictType(STRING, REAL)
+
+    def test_sum_over_relation(self):
+        rel_t = relation_type((("a", REAL),))
+        e = sum_over("x", dom(V("R")), V("R")(V("x")) * V("x").dot("a"))
+        assert infer_type(e, {"R": rel_t}) == REAL
+
+    def test_dict_build(self):
+        e = dict_build("x", set_lit(1, 2), Const(1.0))
+        assert infer_type(e) == DictType(INT, REAL)
+
+    def test_let_and_if(self):
+        assert infer_type(let("x", Const(1), V("x") + 1)) == INT
+        assert infer_type(if_(Const(True), Const(1), Const(2))) == INT
+
+    def test_lenient_mode_gives_dyn_for_unknowns(self):
+        assert infer_type(V("unknown")) == DYN
+
+
+class TestStrictErrors:
+    def test_unbound_variable(self):
+        with pytest.raises(IFAQTypeError, match="unbound"):
+            typecheck(V("nope"))
+
+    def test_field_literal_is_rejected(self):
+        with pytest.raises(IFAQTypeError, match="field literal"):
+            typecheck(fld("a"))
+
+    def test_dynamic_access_is_rejected(self):
+        with pytest.raises(IFAQTypeError, match="dynamic field access"):
+            typecheck(rec(a=Const(1)).at(Const("a")))
+
+    def test_record_lookup_is_rejected(self):
+        with pytest.raises(IFAQTypeError, match="lookup on a record"):
+            typecheck(rec(a=Const(1))(Const("a")))
+
+    def test_missing_field(self):
+        with pytest.raises(IFAQTypeError, match="no field"):
+            typecheck(rec(a=Const(1)).dot("b"))
+
+    def test_heterogeneous_set_rejected(self):
+        with pytest.raises(IFAQTypeError, match="unify"):
+            typecheck(set_lit(1, "a"))
+
+    def test_iteration_over_scalar_rejected(self):
+        with pytest.raises(IFAQTypeError, match="non-collection"):
+            typecheck(sum_over("x", Const(1), V("x")))
+
+    def test_record_mismatch_in_add(self):
+        with pytest.raises(IFAQTypeError, match="field mismatch"):
+            typecheck(rec(a=Const(1)) + rec(b=Const(1)))
+
+    def test_error_message_includes_expression(self):
+        with pytest.raises(IFAQTypeError, match="in:"):
+            typecheck(V("nope"))
+
+
+class TestProgramChecking:
+    def test_program_state_type(self):
+        from repro.ir.expr import Cmp
+        from repro.ir.program import Program
+        from repro.typing.typecheck import typecheck_program
+
+        p = Program(
+            inits=(("k", Const(2)),),
+            state="s",
+            init=Const(0),
+            cond=Cmp("<", V("s"), Const(10)),
+            body=V("s") + V("k"),
+        )
+        assert typecheck_program(p) == INT
+
+    def test_program_body_must_match_state(self):
+        from repro.ir.program import Program
+        from repro.typing.typecheck import typecheck_program
+
+        p = Program(
+            inits=(),
+            state="s",
+            init=Const(0),
+            cond=Const(True),
+            body=rec(a=Const(1)),
+        )
+        with pytest.raises(IFAQTypeError):
+            typecheck_program(p)
