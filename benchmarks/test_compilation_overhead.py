@@ -4,16 +4,23 @@ The paper reports 4.3 s / 8.3 s (Retailer LR / trees) and 9.7 s / 2.4 s
 (Favorita); the shape to reproduce is simply that compile times sit in
 the seconds range and scale with the number of generated aggregate
 statements (Retailer's 35-attribute covar kernel is the big one).
+
+The kernel-cache benchmark measures what the registry refactor buys:
+recompiling the same program/layout is a cache hit that skips code
+generation entirely, so per-iteration or per-refit recompiles cost
+microseconds instead of the cold-compile time.
 """
 
 import pytest
 
-from benchmarks.conftest import load_dataset
+from benchmarks.conftest import ifaq_backend, load_dataset
 from repro.aggregates import build_join_tree, covar_batch
+from repro.backend import KernelCache, get_backend
 from repro.backend.codegen_cpp import generate_cpp_kernel
 from repro.backend.compile_cpp import compile_kernel, gxx_available
 from repro.backend.layout import LAYOUT_SORTED
-from repro.bench import emit, emit_header
+from repro.backend.plan import build_batch_plan
+from repro.bench import emit, emit_header, emit_kernel_cache, record_extra_info
 
 
 @pytest.mark.parametrize("name", ["favorita", "retailer"])
@@ -40,3 +47,38 @@ def test_gcc_compile_time(benchmark, name, tmp_path):
     emit_header(f"Compilation overhead — {ds.name}")
     emit(f"  {len(batch)} aggregates, g++ -O3: {seconds:.2f} s")
     assert seconds > 0
+
+
+@pytest.mark.parametrize("name", ["favorita", "retailer"])
+@pytest.mark.benchmark(group="kernel-cache")
+def test_kernel_cache_hit(benchmark, name):
+    """A second compilation of the same plan/layout is a cache hit."""
+    import time
+
+    ds = load_dataset(name, "small")
+    batch = covar_batch(ds.features, label=ds.label)
+    tree = build_join_tree(ds.db.schema(), ds.query.relations, stats=ds.db.statistics())
+    plan = build_batch_plan(ds.db, tree, batch)
+
+    cache = KernelCache()
+    backend = get_backend(ifaq_backend())
+
+    started = time.perf_counter()
+    cold = cache.get_or_compile(backend, plan, LAYOUT_SORTED)
+    cold_seconds = time.perf_counter() - started
+
+    warm = benchmark.pedantic(
+        lambda: cache.get_or_compile(backend, plan, LAYOUT_SORTED),
+        rounds=5, iterations=1,
+    )
+    assert warm is cold  # the cached kernel, not a regeneration
+    assert cache.stats.hits >= 1 and cache.stats.misses == 1
+
+    emit_header(f"Kernel cache — {ds.name} (backend={backend.name})")
+    emit(f"  cold compile: {cold_seconds:.4f} s")
+    emit_kernel_cache(cache.stats)
+    record_extra_info(
+        benchmark,
+        kernel_cache=cache.stats.as_dict(),
+        cold_compile_seconds=cold_seconds,
+    )

@@ -1,0 +1,60 @@
+"""Sharded parallel evaluation of the covar batch.
+
+Measures the K-way :class:`ShardedBackend` against the single-shot
+backend on the Figure-5 covar workload and records per-shard wall-clock
+timings plus kernel-cache counters in the benchmark JSON
+(``--benchmark-json=BENCH_<name>.json``).  With the C++ inner backend
+the shards run in parallel subprocesses; with the Python inner the
+block partials are merged in canonical order, so the sharded result is
+bit-identical to single-shot.
+"""
+
+import pytest
+
+from benchmarks.conftest import ifaq_backend, load_dataset
+from repro.aggregates import build_join_tree, covar_batch
+from repro.backend import KernelCache, ShardedBackend, get_backend
+from repro.backend.layout import LAYOUT_SORTED
+from repro.backend.plan import build_batch_plan
+from repro.bench import (
+    emit,
+    emit_header,
+    emit_kernel_cache,
+    emit_shard_timings,
+    record_extra_info,
+)
+
+SHARD_COUNTS = [1, 2, 4]
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.benchmark(group="sharded-covar")
+def test_sharded_covar(benchmark, shards):
+    ds = load_dataset("retailer", "small")
+    batch = covar_batch(ds.features, label=ds.label)
+    tree = build_join_tree(ds.db.schema(), ds.query.relations, stats=ds.db.statistics())
+    plan = build_batch_plan(ds.db, tree, batch)
+
+    cache = KernelCache()
+    inner = get_backend(ifaq_backend())
+    backend = ShardedBackend(inner=inner, shards=shards)
+    kernel = cache.get_or_compile(backend, plan, LAYOUT_SORTED)
+
+    single = inner.execute(kernel, ds.db)
+    sharded = benchmark.pedantic(
+        lambda: backend.execute(kernel, ds.db), rounds=3, iterations=1, warmup_rounds=1
+    )
+    for name, value in single.items():
+        assert abs(sharded[name] - value) <= 1e-9 * max(1.0, abs(value))
+
+    emit_header(f"Sharded covar — retailer [small] K={shards} (inner={inner.name})")
+    emit_shard_timings(backend.last_shard_seconds)
+    emit_kernel_cache(cache.stats)
+    emit(f"  {len(batch)} aggregates over {ds.db.relation(plan.root.relation).tuple_count()} root rows")
+    record_extra_info(
+        benchmark,
+        shards=shards,
+        shard_seconds=backend.last_shard_seconds,
+        kernel_cache=cache.stats.as_dict(),
+        inner_backend=inner.name,
+    )

@@ -38,7 +38,8 @@ model = IFAQLinearRegression(
     label="units",
     iterations=200,
     alpha=1.0,
-    backend="python",      # or "cpp" to compile the generated kernel
+    backend="python",      # or "cpp" (g++), or ShardedBackend(inner="python",
+                           # shards=4) — see examples/backends_tour.py
     aggregate_mode="trie",  # Section 4.3's most optimized strategy
 ).fit(db, query)
 

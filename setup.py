@@ -1,3 +1,36 @@
-from setuptools import setup
+"""Packaging for the IFAQ reproduction (conf_cgo_ShaikhhaSGO20)."""
 
-setup()
+import re
+from pathlib import Path
+
+from setuptools import find_packages, setup
+
+_INIT = Path(__file__).parent / "src" / "repro" / "__init__.py"
+VERSION = re.search(r'__version__ = "([^"]+)"', _INIT.read_text()).group(1)
+
+setup(
+    name="ifaq-repro",
+    version=VERSION,
+    description=(
+        "Multi-layer optimizations for end-to-end data analytics (IFAQ, "
+        "CGO 2020): factorized in-database learning with pluggable "
+        "engine/Python/C++ execution backends, kernel caching and "
+        "sharded parallel evaluation"
+    ),
+    long_description=(Path(__file__).parent / "README.md").read_text()
+    if (Path(__file__).parent / "README.md").exists()
+    else "",
+    long_description_content_type="text/markdown",
+    packages=find_packages("src"),
+    package_dir={"": "src"},
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    extras_require={
+        "test": ["pytest", "pytest-benchmark", "hypothesis"],
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering",
+        "Topic :: Database",
+    ],
+)

@@ -9,11 +9,71 @@ Schleich, Ghita and Olteanu.  The package provides:
 * :mod:`repro.typing` — schema specialization and the S-IFAQ type checker,
 * :mod:`repro.aggregates` — aggregate batch extraction, join trees,
   pushdown, view merging, multi-aggregate iteration, tries,
-* :mod:`repro.backend` — data-layout synthesis and Python/C++ codegen,
+* :mod:`repro.backend` — data-layout synthesis, Python/C++ codegen, and
+  the pluggable execution layer (backend registry, kernel cache,
+  sharded parallel evaluation),
 * :mod:`repro.db` — the relational substrate,
 * :mod:`repro.ml` — linear regression / regression trees on top of IFAQ,
   plus materialize-then-learn baselines,
 * :mod:`repro.data` — synthetic Retailer and Favorita generators.
+
+The commonly used entry points are re-exported here::
+
+    from repro import IFAQCompiler, ShardedBackend, get_backend
+
+ML estimators import numpy, so they load lazily on first access
+(``repro.IFAQLinearRegression``).
 """
 
-__version__ = "1.0.0"
+from repro.aggregates import (
+    AggregateBatch,
+    AggregateSpec,
+    build_join_tree,
+    covar_batch,
+)
+from repro.backend import (
+    CppKernelBackend,
+    EngineBackend,
+    ExecutionBackend,
+    Kernel,
+    KernelCache,
+    LayoutOptions,
+    PythonKernelBackend,
+    ShardedBackend,
+    available_backends,
+    default_kernel_cache,
+    get_backend,
+    register_backend,
+)
+from repro.compiler import CompilationArtifacts, IFAQCompiler
+from repro.db import Database, JoinQuery, Relation, RelationSchema
+
+__version__ = "1.1.0"
+
+#: lazily imported ML entry points (numpy-backed)
+_LAZY_ML = {
+    "IFAQLinearRegression",
+    "IFAQRegressionTree",
+    "ScikitStyleLinearRegression",
+    "TensorFlowStyleLinearRegression",
+    "materialize_to_matrix",
+    "rmse",
+}
+
+__all__ = [
+    "AggregateBatch", "AggregateSpec", "CompilationArtifacts",
+    "CppKernelBackend", "Database", "EngineBackend", "ExecutionBackend",
+    "IFAQCompiler", "JoinQuery", "Kernel", "KernelCache", "LayoutOptions",
+    "PythonKernelBackend", "Relation", "RelationSchema", "ShardedBackend",
+    "__version__", "available_backends", "build_join_tree", "covar_batch",
+    "default_kernel_cache", "get_backend", "register_backend",
+    *sorted(_LAZY_ML),
+]
+
+
+def __getattr__(name: str):
+    if name in _LAZY_ML:
+        import repro.ml as _ml
+
+        return getattr(_ml, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,6 +10,7 @@ from repro.aggregates.batch import (
 from repro.aggregates.engine import (
     compute_batch_materialized,
     compute_batch_merged,
+    compute_batch_mode,
     compute_batch_pushdown,
     compute_batch_trie,
     compute_groupby,
@@ -33,7 +34,8 @@ __all__ = [
     "COUNT", "AggregateBatch", "AggregateSpec", "ExtractionResult",
     "JoinTreeError", "JoinTreeNode", "build_join_tree",
     "compute_batch_materialized", "compute_batch_merged",
-    "compute_batch_pushdown", "compute_batch_trie", "compute_groupby",
+    "compute_batch_mode", "compute_batch_pushdown", "compute_batch_trie",
+    "compute_groupby",
     "covar_batch", "extract_aggregates", "extract_program_aggregates",
     "match_aggregate", "merged_views_expr", "remove_dead_inits", "reroot",
     "variance_batch", "views_per_aggregate_expr",

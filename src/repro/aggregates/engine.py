@@ -352,6 +352,40 @@ def _group_relation(
 
 
 # ---------------------------------------------------------------------------
+# Mode dispatch (used by the engine execution backend)
+# ---------------------------------------------------------------------------
+
+
+def compute_batch_mode(
+    db: Database,
+    tree: JoinTreeNode,
+    batch: AggregateBatch,
+    mode: str = "trie",
+    query: JoinQuery | None = None,
+    predicates: Predicates | None = None,
+) -> dict[str, float]:
+    """Evaluate a batch by the named Section 4.3 strategy.
+
+    ``materialized`` joins in ``query`` order when a query is given,
+    otherwise in the tree's pre-order (the bags are equal either way).
+    """
+    if mode == "materialized":
+        if query is None:
+            query = JoinQuery(tuple(tree.relation_names()))
+        return compute_batch_materialized(db, query, batch, predicates)
+    if mode == "pushdown":
+        return compute_batch_pushdown(db, tree, batch, predicates)
+    if mode == "merged":
+        return compute_batch_merged(db, tree, batch, predicates)
+    if mode == "trie":
+        return compute_batch_trie(db, tree, batch, predicates)
+    raise ValueError(
+        f"unknown aggregate mode {mode!r}; expected one of "
+        "'materialized', 'pushdown', 'merged', 'trie'"
+    )
+
+
+# ---------------------------------------------------------------------------
 # Group-by batches (regression trees / LMFAO-style)
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,61 @@
+"""Data-layout synthesis, code generation and pluggable execution.
+
+Layer map::
+
+    plan.py            physical plans (+ fingerprints for caching)
+    layout.py          Section 4.4 layout switches
+    codegen_python.py  specialized Python kernels (views / root-scan split)
+    codegen_cpp.py     specialized C++ kernels
+    compile_cpp.py     g++ driver with content-hash binary caching
+    base.py            the ExecutionBackend protocol and Kernel artifact
+    executors.py       EngineBackend / PythonKernelBackend / CppKernelBackend
+    registry.py        name → backend resolution (cpp→python fallback)
+    cache.py           KernelCache keyed by plan fingerprints
+    parallel.py        ShardedBackend: K-way sharded evaluation
+"""
+
+from repro.backend.base import (
+    ExecutionBackend,
+    Kernel,
+    merge_results,
+    merge_vectors,
+)
+from repro.backend.cache import CacheStats, KernelCache, default_kernel_cache
+from repro.backend.executors import (
+    DEFAULT_BLOCK_SIZE,
+    CppKernelBackend,
+    EngineBackend,
+    PythonKernelBackend,
+    tree_from_plan,
+)
+from repro.backend.layout import (
+    FIGURE_7B_LADDER,
+    LAYOUT_ARRAYS,
+    LAYOUT_BASELINE,
+    LAYOUT_HASH_TRIE,
+    LAYOUT_RECORDS,
+    LAYOUT_SCALARIZED,
+    LAYOUT_SORTED,
+    LayoutOptions,
+)
+from repro.backend.parallel import DEFAULT_SHARDS, ShardedBackend, shard_database
+from repro.backend.plan import BatchPlan, NodePlan, build_batch_plan, prepare_data
+from repro.backend.registry import (
+    BackendResolutionError,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+
+__all__ = [
+    "BackendResolutionError", "BatchPlan", "CacheStats", "CppKernelBackend",
+    "DEFAULT_BLOCK_SIZE", "DEFAULT_SHARDS", "EngineBackend",
+    "ExecutionBackend", "FIGURE_7B_LADDER", "Kernel", "KernelCache",
+    "LAYOUT_ARRAYS", "LAYOUT_BASELINE", "LAYOUT_HASH_TRIE", "LAYOUT_RECORDS",
+    "LAYOUT_SCALARIZED", "LAYOUT_SORTED", "LayoutOptions", "NodePlan",
+    "PythonKernelBackend", "ShardedBackend", "available_backends",
+    "build_batch_plan", "default_kernel_cache", "get_backend",
+    "merge_results", "merge_vectors", "prepare_data", "register_backend",
+    "shard_database", "tree_from_plan", "unregister_backend",
+]

@@ -1,0 +1,109 @@
+"""The execution-backend protocol (the RACO-style pluggable algebra).
+
+Execution of an aggregate batch is split into two phases behind one
+small interface:
+
+* :meth:`ExecutionBackend.compile_plan` lowers a :class:`BatchPlan`
+  under a :class:`LayoutOptions` into a :class:`Kernel` — a reusable,
+  cacheable artifact (generated source, compiled binary, interpreter
+  closure, …);
+* :meth:`ExecutionBackend.execute` runs a kernel against a database and
+  returns the aggregate vector as a ``{spec.name: value}`` dictionary.
+
+Keeping the two phases separate is what makes the kernel cache
+(:mod:`repro.backend.cache`) and the sharded wrapper
+(:mod:`repro.backend.parallel`) possible: a kernel compiled once can be
+executed many times, against many (sub-)databases, from many threads.
+
+Concrete backends live in :mod:`repro.backend.executors`; they are
+looked up by name through :mod:`repro.backend.registry`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.backend.layout import LayoutOptions
+from repro.backend.plan import BatchPlan
+from repro.db.database import Database
+from repro.runtime.rings import v_add
+
+
+@dataclass
+class Kernel:
+    """A compiled execution artifact for one (plan, layout, backend).
+
+    ``entry`` is backend-specific: the generated-Python module
+    namespace, a :class:`~repro.backend.compile_cpp.CompiledKernel`
+    handle, or the engine's reconstructed join tree.  ``source`` is the
+    generated source text when the backend generates code (``None`` for
+    interpreting backends).
+    """
+
+    backend: str
+    fingerprint: str
+    plan: BatchPlan
+    layout: LayoutOptions
+    source: str | None = None
+    entry: Any = None
+    compile_seconds: float = 0.0
+    meta: dict = field(default_factory=dict)
+
+    def result_dict(self, values: list[float]) -> dict[str, float]:
+        """Map a positional aggregate vector back to spec names."""
+        return {spec.name: values[i] for i, spec in enumerate(self.plan.batch)}
+
+
+class ExecutionBackend(ABC):
+    """One physical evaluation strategy for aggregate batches."""
+
+    #: registry name of the backend (class attribute on subclasses)
+    name: str = "abstract"
+
+    @property
+    def kernel_key(self) -> str:
+        """The component of the kernel-cache key owned by this backend.
+
+        Backends whose kernels are interchangeable (e.g. a sharded
+        wrapper around an inner backend) share the inner key so cached
+        kernels are shared too.
+        """
+        return self.name
+
+    @abstractmethod
+    def compile_plan(self, plan: BatchPlan, layout: LayoutOptions) -> Kernel:
+        """Lower the plan to a reusable kernel."""
+
+    @abstractmethod
+    def execute(self, kernel: Kernel, db: Database) -> dict[str, float]:
+        """Run the kernel over ``db`` and return ``{name: value}``."""
+
+
+def merge_vectors(partials: list[list[float]]) -> list[float]:
+    """Fold partial aggregate vectors with the ring monoid ``v_add``.
+
+    The fold is strictly left-to-right in list order.  Both the
+    single-shot Python backend and the sharded wrapper reduce the *same*
+    ordered list of per-block partials through this function, which is
+    what makes sharded results bit-identical to single-shot results.
+    """
+    if not partials:
+        return []
+    acc = list(partials[0])
+    for part in partials[1:]:
+        for i, v in enumerate(part):
+            acc[i] = v_add(acc[i], v)
+    return acc
+
+
+def merge_results(partials: list[dict[str, float]]) -> dict[str, float]:
+    """Merge named partial results with ``v_add`` (shard order)."""
+    if not partials:
+        return {}
+    acc = dict(partials[0])
+    for part in partials[1:]:
+        for k, v in part.items():
+            acc[k] = v_add(acc.get(k, 0.0), v)
+    return acc

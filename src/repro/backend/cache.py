@@ -1,0 +1,102 @@
+"""Kernel caching keyed by plan fingerprints.
+
+The kernel generated while compiling a program is the one executed —
+and recompiling the same program against the same layout (per-GD-
+iteration loops, benchmark repetitions, repeated ``compile()`` calls)
+reuses it instead of regenerating from scratch.  Keys come from
+:meth:`repro.backend.plan.BatchPlan.fingerprint`, which covers the plan
+shape, column orders, layout flags and the backend's kernel key.
+
+A process-wide default cache backs the compiler driver; callers that
+need isolation (tests, benchmarks measuring cold compiles) pass their
+own :class:`KernelCache`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.backend.base import ExecutionBackend, Kernel
+from repro.backend.layout import LayoutOptions
+from repro.backend.plan import BatchPlan
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class KernelCache:
+    """An LRU cache of compiled kernels.
+
+    Thread-safe: the sharded executor may resolve kernels from worker
+    threads.  ``capacity`` bounds memory held by generated modules and
+    C++ binary handles.
+    """
+
+    capacity: int = 64
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def get_or_compile(
+        self, backend: ExecutionBackend, plan: BatchPlan, layout: LayoutOptions
+    ) -> Kernel:
+        """Return the cached kernel for (plan, layout, backend) or build it."""
+        key = plan.fingerprint(layout, backend.kernel_key)
+        with self._lock:
+            kernel = self._entries.get(key)
+            if kernel is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return kernel
+            self.stats.misses += 1
+        # Compile outside the lock: C++ kernels take seconds and must
+        # not serialize unrelated cache traffic.
+        kernel = backend.compile_plan(plan, layout)
+        with self._lock:
+            self._entries[key] = kernel
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+        return kernel
+
+    def lookup(self, fingerprint: str) -> Kernel | None:
+        with self._lock:
+            return self._entries.get(fingerprint)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_DEFAULT_CACHE = KernelCache()
+
+
+def default_kernel_cache() -> KernelCache:
+    """The process-wide cache used when a compiler isn't given one."""
+    return _DEFAULT_CACHE

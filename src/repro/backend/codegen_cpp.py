@@ -98,17 +98,35 @@ class CppKernel:
     source: str
 
 
-def generate_cpp_kernel(plan: BatchPlan, options: LayoutOptions, repetitions: int = 1) -> CppKernel:
+def generate_cpp_kernel(
+    plan: BatchPlan,
+    options: LayoutOptions,
+    repetitions: int = 1,
+    fingerprint: str | None = None,
+) -> CppKernel:
+    """Emit the C++ program for ``plan`` under ``options``.
+
+    ``fingerprint`` (the plan's cache key) is embedded as a header
+    comment so cached sources/binaries under the work directory can be
+    traced back to the plan that produced them.
+    """
     _check_plan(plan)
-    gen = _CppGen(plan, options, repetitions)
+    gen = _CppGen(plan, options, repetitions, fingerprint)
     return CppKernel(source=gen.emit())
 
 
 class _CppGen:
-    def __init__(self, plan: BatchPlan, options: LayoutOptions, repetitions: int):
+    def __init__(
+        self,
+        plan: BatchPlan,
+        options: LayoutOptions,
+        repetitions: int,
+        fingerprint: str | None = None,
+    ):
         self.plan = plan
         self.options = options
         self.repetitions = repetitions
+        self.fingerprint = fingerprint
         self.lines: list[str] = []
         self.indent = 0
         self._view_counter = 0
@@ -125,6 +143,8 @@ class _CppGen:
     def emit(self) -> str:
         ns = self.plan.num_aggregates
         self.w("// Generated by repro.backend.codegen_cpp — do not edit.")
+        if self.fingerprint:
+            self.w(f"// plan fingerprint: {self.fingerprint}")
         self.w("#include <cstdio>")
         self.w("#include <cstdint>")
         self.w("#include <vector>")

@@ -34,6 +34,8 @@ class CompiledKernel:
     binary_path: Path
     compile_seconds: float
     source: str
+    #: True when the binary came from the content-hash cache (no g++ run)
+    cached: bool = False
 
     def run(self, data_path: str | Path) -> tuple[float, list[float]]:
         """Execute the kernel; returns (elapsed seconds, aggregate values)."""
@@ -71,7 +73,9 @@ def compile_kernel(
     bin_path = cache / f"kernel_{digest}"
 
     if bin_path.exists():
-        return CompiledKernel(binary_path=bin_path, compile_seconds=0.0, source=kernel.source)
+        return CompiledKernel(
+            binary_path=bin_path, compile_seconds=0.0, source=kernel.source, cached=True
+        )
 
     src_path.write_text(kernel.source)
     cmd = ["g++", "-O3", "-std=c++17", *extra_flags, str(src_path), "-o", str(bin_path)]
@@ -81,3 +85,14 @@ def compile_kernel(
     if proc.returncode != 0:
         raise CppToolchainError(f"g++ failed:\n{proc.stderr}\n--- source ---\n{kernel.source}")
     return CompiledKernel(binary_path=bin_path, compile_seconds=elapsed, source=kernel.source)
+
+
+def clear_binary_cache(work_dir: str | Path | None = None) -> int:
+    """Remove cached kernel sources/binaries; returns the count removed."""
+    cache = Path(work_dir) if work_dir else _CACHE_DIR
+    removed = 0
+    if cache.is_dir():
+        for path in cache.glob("kernel_*"):
+            path.unlink(missing_ok=True)
+            removed += 1
+    return removed

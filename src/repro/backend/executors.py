@@ -1,0 +1,171 @@
+"""Concrete execution backends: engine, generated Python, C++.
+
+These are the three physical strategies the :class:`IFAQCompiler`
+previously dispatched to through string comparisons; each is now a
+first-class :class:`~repro.backend.base.ExecutionBackend` so it can be
+registered, cached, wrapped (sharded) and swapped without touching the
+driver.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.aggregates.engine import compute_batch_mode
+from repro.aggregates.join_tree import JoinTreeNode
+from repro.backend.base import ExecutionBackend, Kernel, merge_vectors
+from repro.backend.codegen_cpp import generate_cpp_kernel, write_binary_data
+from repro.backend.codegen_python import generate_python_kernel
+from repro.backend.compile_cpp import compile_kernel
+from repro.backend.layout import LayoutOptions
+from repro.backend.plan import BatchPlan, prepare_data
+from repro.db.database import Database
+from repro.db.query import JoinQuery
+
+#: Root rows per execution block of the Python backend.  Blocks are the
+#: unit the sharded executor distributes; keeping the block structure
+#: identical in single-shot and sharded runs makes their results
+#: bit-identical (same partials, same merge order).
+DEFAULT_BLOCK_SIZE = 4096
+
+
+def tree_from_plan(plan: BatchPlan) -> JoinTreeNode:
+    """Reconstruct the logical join tree a physical plan was built from."""
+
+    def build(node) -> JoinTreeNode:
+        return JoinTreeNode(
+            node.relation,
+            join_attrs=node.parent_key,
+            children=[build(c) for c in node.children],
+        )
+
+    return build(plan.root)
+
+
+@dataclass
+class EngineBackend(ExecutionBackend):
+    """Interpret the view tree in Python (Section 4.3 engines).
+
+    ``aggregate_mode`` picks the strategy ladder rung; ``query`` (when
+    known) preserves the caller's join order for the materialized mode.
+    """
+
+    aggregate_mode: str = "trie"
+    query: JoinQuery | None = None
+
+    name = "engine"
+
+    @property
+    def kernel_key(self) -> str:
+        return f"engine:{self.aggregate_mode}"
+
+    def compile_plan(self, plan: BatchPlan, layout: LayoutOptions) -> Kernel:
+        return Kernel(
+            backend=self.name,
+            fingerprint=plan.fingerprint(layout, self.kernel_key),
+            plan=plan,
+            layout=layout,
+            source=None,
+            entry=tree_from_plan(plan),
+        )
+
+    def execute(self, kernel: Kernel, db: Database) -> dict[str, float]:
+        return compute_batch_mode(
+            db, kernel.entry, kernel.plan.batch, self.aggregate_mode, query=self.query
+        )
+
+
+@dataclass
+class PythonKernelBackend(ExecutionBackend):
+    """Execute the generated specialized Python kernel.
+
+    Execution is block-structured: views are built once, then the root
+    relation is folded in fixed-size row blocks whose partial vectors
+    are merged left-to-right with the ring monoid.  The block layout
+    depends only on the data (never on worker count), so the sharded
+    wrapper can farm blocks out to threads and still reproduce the
+    single-shot result bit for bit.
+    """
+
+    block_size: int = DEFAULT_BLOCK_SIZE
+
+    name = "python"
+
+    def compile_plan(self, plan: BatchPlan, layout: LayoutOptions) -> Kernel:
+        generated = generate_python_kernel(plan, layout)
+        namespace = generated.compile_module()
+        return Kernel(
+            backend=self.name,
+            fingerprint=plan.fingerprint(layout, self.kernel_key),
+            plan=plan,
+            layout=layout,
+            source=generated.source,
+            entry=namespace,
+            meta={"supports_blocks": True},
+        )
+
+    # -- block protocol (consumed by ShardedBackend) ---------------------
+
+    def prepare(self, kernel: Kernel, db: Database):
+        """Load the data in plan layout and build the views once."""
+        data = prepare_data(db, kernel.plan, kernel.layout)
+        views = kernel.entry["build_views"](data)
+        n_rows = len(data[kernel.plan.root.relation])
+        return data, views, n_rows
+
+    def block_ranges(self, n_rows: int) -> list[tuple[int, int]]:
+        if n_rows <= 0:
+            return []
+        size = max(1, self.block_size)
+        return [(lo, min(lo + size, n_rows)) for lo in range(0, n_rows, size)]
+
+    def run_block(self, kernel: Kernel, data, views, lo: int, hi: int) -> list[float]:
+        return kernel.entry["scan_root"](data, views, lo, hi)
+
+    # -- single-shot execution -------------------------------------------
+
+    def execute(self, kernel: Kernel, db: Database) -> dict[str, float]:
+        data, views, n_rows = self.prepare(kernel, db)
+        if n_rows == 0:
+            return kernel.result_dict([0.0] * kernel.plan.num_aggregates)
+        partials = [
+            self.run_block(kernel, data, views, lo, hi)
+            for lo, hi in self.block_ranges(n_rows)
+        ]
+        return kernel.result_dict(merge_vectors(partials))
+
+
+@dataclass
+class CppKernelBackend(ExecutionBackend):
+    """Compile the generated C++ with ``g++ -O3`` and run the binary.
+
+    Compilation happens in :meth:`compile_plan` (content-hash cached by
+    :mod:`repro.backend.compile_cpp` on top of the kernel cache), so
+    execution only pays data serialization and the subprocess.
+    """
+
+    name = "cpp"
+
+    def compile_plan(self, plan: BatchPlan, layout: LayoutOptions) -> Kernel:
+        fingerprint = plan.fingerprint(layout, self.kernel_key)
+        generated = generate_cpp_kernel(plan, layout, fingerprint=fingerprint)
+        compiled = compile_kernel(generated)
+        return Kernel(
+            backend=self.name,
+            fingerprint=fingerprint,
+            plan=plan,
+            layout=layout,
+            source=generated.source,
+            entry=compiled,
+            compile_seconds=compiled.compile_seconds,
+            meta={"binary_cached": compiled.cached},
+        )
+
+    def execute(self, kernel: Kernel, db: Database) -> dict[str, float]:
+        with tempfile.TemporaryDirectory() as tmp:
+            data_path = Path(tmp) / "data.bin"
+            write_binary_data(db, kernel.plan, data_path, kernel.layout)
+            _, values = kernel.entry.run(data_path)
+        return kernel.result_dict(values)

@@ -1,0 +1,172 @@
+"""Sharded parallel execution of aggregate batches.
+
+:class:`ShardedBackend` wraps any inner :class:`ExecutionBackend` and
+partitions the *root* relation of the plan into K shards.  Batch
+aggregates are Σ-folds over the root rows (child views only ever join
+*towards* the root), so per-shard partial vectors merge exactly with
+the ring monoid ``v_add`` from :mod:`repro.runtime.rings` — the merge
+law ``Σ_{r ∈ R} f(r) = ⊕_k Σ_{r ∈ R_k} f(r)`` for any partition
+``R = ⊎ R_k``.
+
+Two execution paths:
+
+* **Block path** (inner backends exposing the ``prepare`` /
+  ``block_ranges`` / ``run_block`` protocol, i.e. the generated-Python
+  backend): data and views are prepared once and shared read-only;
+  worker threads fold disjoint row blocks and the partials are merged
+  in canonical block order.  Because the block layout depends only on
+  the data — never on the shard count — the merged result is
+  **bit-identical** to the single-shot result for every K.
+* **Sub-database path** (engine, C++): the root relation is split into
+  K contiguous sub-relations and the inner backend runs once per shard
+  (the C++ binary in parallel subprocesses that release the GIL).
+  Partial dictionaries merge with ``v_add`` in shard order.
+
+Per-shard wall-clock timings are recorded on ``last_shard_seconds`` for
+the benchmark reports.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.backend.base import ExecutionBackend, Kernel, merge_results, merge_vectors
+from repro.backend.layout import LayoutOptions
+from repro.backend.plan import BatchPlan
+from repro.db.database import Database
+from repro.db.relation import Relation
+
+#: Default shard count: one per core (the hardware-saturation target).
+DEFAULT_SHARDS = max(1, os.cpu_count() or 1)
+
+
+def shard_database(db: Database, root_relation: str, shards: int) -> list[Database]:
+    """Split ``root_relation`` into ≤ ``shards`` contiguous sub-relations.
+
+    Every other relation is shared by reference (child views are built
+    per shard from the full dimension tables, which is exactly what the
+    merge law requires).  Empty shards are dropped, so fewer databases
+    than requested may be returned for tiny relations.
+    """
+    rel = db.relation(root_relation)
+    out: list[Database] = []
+    for chunk in _chunk(list(rel.data.items()), shards):
+        relations = dict(db.relations)
+        relations[root_relation] = Relation(rel.schema, dict(chunk))
+        out.append(Database(relations))
+    return out
+
+
+def _chunk(seq: list, k: int) -> list[list]:
+    """Split ``seq`` into ≤ k contiguous non-empty chunks."""
+    if not seq:
+        return []
+    k = max(1, min(k, len(seq)))
+    base, extra = divmod(len(seq), k)
+    chunks, start = [], 0
+    for i in range(k):
+        size = base + (1 if i < extra else 0)
+        if size:
+            chunks.append(seq[start:start + size])
+            start += size
+    return chunks
+
+
+@dataclass
+class ShardedBackend(ExecutionBackend):
+    """Run any inner backend over K shards of the root relation."""
+
+    inner: str | ExecutionBackend = "python"
+    shards: int = DEFAULT_SHARDS
+    context: dict = field(default_factory=dict)
+
+    #: wall-clock seconds per shard of the most recent execution
+    last_shard_seconds: list[float] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if isinstance(self.inner, str):
+            from repro.backend.registry import get_backend
+
+            self.inner = get_backend(self.inner, **self.context)
+
+    # -- ExecutionBackend ------------------------------------------------
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"sharded[{self.inner.name}x{self.shards}]"
+
+    @property
+    def kernel_key(self) -> str:
+        # Kernels are the inner backend's kernels: cache entries are
+        # shared between sharded and single-shot execution.
+        return self.inner.kernel_key
+
+    def compile_plan(self, plan: BatchPlan, layout: LayoutOptions) -> Kernel:
+        return self.inner.compile_plan(plan, layout)
+
+    def execute(self, kernel: Kernel, db: Database) -> dict[str, float]:
+        if self._supports_blocks(kernel):
+            return self._execute_blocks(kernel, db)
+        return self._execute_subdatabases(kernel, db)
+
+    # -- block path (bit-identical to single-shot) -----------------------
+
+    def _supports_blocks(self, kernel: Kernel) -> bool:
+        return bool(kernel.meta.get("supports_blocks")) and all(
+            hasattr(self.inner, m) for m in ("prepare", "block_ranges", "run_block")
+        )
+
+    def _execute_blocks(self, kernel: Kernel, db: Database) -> dict[str, float]:
+        inner = self.inner
+        data, views, n_rows = inner.prepare(kernel, db)
+        if n_rows == 0:
+            self.last_shard_seconds = []
+            return kernel.result_dict([0.0] * kernel.plan.num_aggregates)
+        ranges = list(enumerate(inner.block_ranges(n_rows)))
+        assignments = _chunk(ranges, self.shards)
+
+        def run_shard(blocks):
+            started = time.perf_counter()
+            partials = [
+                (idx, inner.run_block(kernel, data, views, lo, hi))
+                for idx, (lo, hi) in blocks
+            ]
+            return partials, time.perf_counter() - started
+
+        if len(assignments) == 1:
+            shard_outputs = [run_shard(assignments[0])]
+        else:
+            with ThreadPoolExecutor(max_workers=len(assignments)) as pool:
+                shard_outputs = list(pool.map(run_shard, assignments))
+
+        self.last_shard_seconds = [seconds for _, seconds in shard_outputs]
+        by_index = {idx: part for partials, _ in shard_outputs for idx, part in partials}
+        ordered = [by_index[idx] for idx, _ in ranges]
+        return kernel.result_dict(merge_vectors(ordered))
+
+    # -- sub-database path (engine / C++) --------------------------------
+
+    def _execute_subdatabases(self, kernel: Kernel, db: Database) -> dict[str, float]:
+        shard_dbs = shard_database(db, kernel.plan.root.relation, self.shards)
+        if not shard_dbs:
+            self.last_shard_seconds = []
+            return kernel.result_dict([0.0] * kernel.plan.num_aggregates)
+
+        def run_shard(shard_db):
+            started = time.perf_counter()
+            result = self.inner.execute(kernel, shard_db)
+            return result, time.perf_counter() - started
+
+        if len(shard_dbs) == 1:
+            shard_outputs = [run_shard(shard_dbs[0])]
+        else:
+            with ThreadPoolExecutor(max_workers=len(shard_dbs)) as pool:
+                shard_outputs = list(pool.map(run_shard, shard_dbs))
+
+        self.last_shard_seconds = [seconds for _, seconds in shard_outputs]
+        return merge_results([result for result, _ in shard_outputs])

@@ -10,7 +10,8 @@ plan's column order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+from dataclasses import dataclass, field, fields
 
 from repro.aggregates.batch import AggregateBatch
 from repro.aggregates.engine import assign_attribute_owners, _owned_attrs
@@ -52,6 +53,39 @@ class BatchPlan:
     @property
     def num_aggregates(self) -> int:
         return len(self.batch.specs)
+
+    def fingerprint(self, layout=None, backend: str = "") -> str:
+        """A stable identity for kernel caching.
+
+        Covers everything the code generators consume — the tree shape,
+        per-relation column orders, join keys, the per-spec owned
+        columns, the batch's aggregate names — plus the layout flags and
+        the backend's kernel key.  Two plans with equal fingerprints
+        generate byte-identical kernels, so the kernel compiled at
+        ``IFAQCompiler.compile`` time can be reused for every later
+        execution and across repeated compilations.
+        """
+        parts: list[str] = [backend]
+        if layout is not None:
+            parts.append(
+                ",".join(f"{f.name}={getattr(layout, f.name)}" for f in fields(layout))
+            )
+        for node in self.root.walk():
+            parts.append(
+                "|".join(
+                    (
+                        node.relation,
+                        ",".join(node.parent_key),
+                        ";".join(",".join(k) for k in node.child_keys),
+                        ",".join(node.columns),
+                        ";".join(",".join(o) for o in node.owned_per_spec),
+                    )
+                )
+            )
+        for spec in self.batch:
+            parts.append(spec.name + ":" + ",".join(spec.attrs))
+        digest = hashlib.sha256("\n".join(parts).encode()).hexdigest()
+        return digest[:16]
 
 
 def build_batch_plan(db: Database, tree: JoinTreeNode, batch: AggregateBatch) -> BatchPlan:

@@ -1,0 +1,121 @@
+"""The execution-backend registry.
+
+Backends are registered under short names and resolved once per
+compiler instance — including environment-dependent decisions such as
+"``cpp`` requested but no g++ on PATH → generated Python", which used
+to be re-probed at every call site.  Callers can pass either a
+registered name or a ready :class:`ExecutionBackend` instance anywhere
+a backend is accepted.
+
+Factories receive the resolution context as keyword arguments (the
+driver passes ``aggregate_mode`` and ``query``); each factory picks the
+keys it understands and ignores the rest, so one ``get_backend`` call
+site serves every backend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.backend.base import ExecutionBackend
+from repro.backend.compile_cpp import gxx_available
+from repro.backend.executors import (
+    DEFAULT_BLOCK_SIZE,
+    CppKernelBackend,
+    EngineBackend,
+    PythonKernelBackend,
+)
+
+
+class BackendResolutionError(KeyError):
+    """No backend is registered under the requested name."""
+
+
+_REGISTRY: dict[str, Callable[..., ExecutionBackend]] = {}
+
+
+def register_backend(
+    name: str,
+    factory: Callable[..., ExecutionBackend],
+    *,
+    replace: bool = False,
+) -> None:
+    """Register ``factory`` under ``name``.
+
+    Re-registering an existing name requires ``replace=True`` so typos
+    don't silently shadow built-ins.
+    """
+    if name in _REGISTRY and not replace:
+        raise ValueError(
+            f"backend {name!r} is already registered; pass replace=True to override"
+        )
+    _REGISTRY[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def get_backend(spec: str | ExecutionBackend, **context) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    This is the single place environment fallbacks are decided: the
+    returned instance never re-probes the toolchain at execution time.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"backend must be a name or an ExecutionBackend, got {type(spec).__name__}"
+        )
+    try:
+        factory = _REGISTRY[spec]
+    except KeyError:
+        raise BackendResolutionError(
+            f"unknown backend {spec!r}; registered: {', '.join(available_backends())}"
+        ) from None
+    return factory(**context)
+
+
+# -- built-ins ------------------------------------------------------------
+
+
+def _engine_factory(**context) -> ExecutionBackend:
+    return EngineBackend(
+        aggregate_mode=context.get("aggregate_mode", "trie"),
+        query=context.get("query"),
+    )
+
+
+def _python_factory(**context) -> ExecutionBackend:
+    return PythonKernelBackend(
+        block_size=context.get("block_size", DEFAULT_BLOCK_SIZE)
+    )
+
+
+def _cpp_factory(**context) -> ExecutionBackend:
+    # The C++ → Python fallback is decided here, exactly once per
+    # resolution, instead of at every compile/execute call site.
+    if gxx_available():
+        return CppKernelBackend()
+    return _python_factory(**context)
+
+
+def _sharded_factory(**context) -> ExecutionBackend:
+    from repro.backend.parallel import DEFAULT_SHARDS, ShardedBackend
+
+    return ShardedBackend(
+        inner=context.get("inner", "python"),
+        shards=context.get("shards", DEFAULT_SHARDS),
+        context={k: v for k, v in context.items() if k not in ("inner", "shards")},
+    )
+
+
+register_backend("engine", _engine_factory)
+register_backend("python", _python_factory)
+register_backend("cpp", _cpp_factory)
+register_backend("sharded", _sharded_factory)

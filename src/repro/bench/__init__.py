@@ -1,5 +1,16 @@
 """Benchmark-harness helpers (reporting, shared setup)."""
 
-from repro.bench.report import emit, emit_header, emit_row, format_seconds
+from repro.bench.report import (
+    emit,
+    emit_header,
+    emit_kernel_cache,
+    emit_row,
+    emit_shard_timings,
+    format_seconds,
+    record_extra_info,
+)
 
-__all__ = ["emit", "emit_header", "emit_row", "format_seconds"]
+__all__ = [
+    "emit", "emit_header", "emit_kernel_cache", "emit_row",
+    "emit_shard_timings", "format_seconds", "record_extra_info",
+]

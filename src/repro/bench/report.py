@@ -33,3 +33,38 @@ def format_seconds(seconds: float) -> str:
     if seconds < 1.0:
         return f"{seconds * 1e3:.2f} ms"
     return f"{seconds:.3f} s"
+
+
+def emit_kernel_cache(stats, label: str = "kernel cache") -> None:
+    """One line of kernel-cache hit/miss counters.
+
+    ``stats`` is a :class:`repro.backend.cache.CacheStats` (or anything
+    with ``hits``/``misses``/``hit_rate``).
+    """
+    emit_row(
+        label,
+        f"{stats.hits} hit / {stats.misses} miss ({stats.hit_rate:.0%})",
+    )
+
+
+def emit_shard_timings(shard_seconds, label: str = "shards") -> None:
+    """Per-shard wall-clock timings for a sharded execution."""
+    if not shard_seconds:
+        emit_row(label, "—")
+        return
+    timings = ", ".join(format_seconds(s) for s in shard_seconds)
+    emit_row(f"{label} ({len(shard_seconds)})", timings)
+
+
+def record_extra_info(benchmark, **info) -> None:
+    """Attach key/values to pytest-benchmark's JSON output.
+
+    ``pytest benchmarks/ --benchmark-json=BENCH_<name>.json`` then
+    carries kernel-cache hit/miss counts and per-shard timings next to
+    the timing statistics, so speedups from caching/sharding are
+    tracked across runs.  A no-op when the fixture lacks ``extra_info``
+    (e.g. a stub benchmark in plain pytest runs).
+    """
+    extra = getattr(benchmark, "extra_info", None)
+    if extra is not None:
+        extra.update(info)

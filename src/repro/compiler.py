@@ -6,35 +6,38 @@ Chains the layers::
       → high-level optimizations            (Section 4.1)
       → schema specialization + typecheck   (Section 4.2)
       → aggregate extraction + join tree    (Section 4.3)
-      → batch evaluation                    (engine, generated Python, or C++)
+      → physical plan + kernel compilation  (backend registry + cache)
+      → batch execution                     (engine / Python / C++ / sharded)
       → residual program execution
 
 Every stage's artifact is kept on :class:`CompilationArtifacts` so the
 micro-benchmarks can time any stage's output in isolation and tests can
 inspect intermediate programs.
+
+Execution is delegated to a pluggable
+:class:`~repro.backend.base.ExecutionBackend` resolved once through
+:mod:`repro.backend.registry` — ``backend`` accepts a registered name
+(``"engine"``, ``"python"``, ``"cpp"``, ``"sharded"``) or a ready
+instance (e.g. ``ShardedBackend(inner="cpp", shards=8)``).  The kernel
+built during :meth:`IFAQCompiler.compile` is stored on the artifacts
+and is the kernel executed; repeated compilations of the same program
+and layout hit the :class:`~repro.backend.cache.KernelCache`.
 """
 
 from __future__ import annotations
 
-import tempfile
 from dataclasses import dataclass, field
-from pathlib import Path
 from typing import Any, Literal
 
 from repro.aggregates.batch import AggregateBatch
-from repro.aggregates.engine import (
-    compute_batch_materialized,
-    compute_batch_merged,
-    compute_batch_pushdown,
-    compute_batch_trie,
-)
+from repro.aggregates.engine import compute_batch_materialized
 from repro.aggregates.extract import extract_program_aggregates
 from repro.aggregates.join_tree import JoinTreeNode, build_join_tree
-from repro.backend.codegen_cpp import generate_cpp_kernel, write_binary_data
-from repro.backend.codegen_python import generate_python_kernel
-from repro.backend.compile_cpp import compile_kernel, gxx_available
+from repro.backend.base import ExecutionBackend, Kernel
+from repro.backend.cache import KernelCache, default_kernel_cache
 from repro.backend.layout import LAYOUT_SORTED, LayoutOptions
-from repro.backend.plan import BatchPlan, build_batch_plan, prepare_data
+from repro.backend.plan import BatchPlan, build_batch_plan
+from repro.backend.registry import get_backend
 from repro.db.database import Database
 from repro.db.query import JoinQuery
 from repro.interp.interpreter import Interpreter
@@ -45,7 +48,8 @@ from repro.typing.specialize import schema_specialize
 from repro.typing.typecheck import typecheck_program
 
 AggregateMode = Literal["materialized", "pushdown", "merged", "trie"]
-Backend = Literal["engine", "python", "cpp"]
+#: kept for backwards compatibility; any registered name now works
+Backend = Literal["engine", "python", "cpp", "sharded"]
 
 
 @dataclass
@@ -62,6 +66,9 @@ class CompilationArtifacts:
     kernel_source: str | None = None
     compile_seconds: float = 0.0
     state_type: Any = None
+    #: the compiled execution artifact — the exact kernel ``compute_batch``
+    #: runs (no regeneration between compile and execute)
+    kernel: Kernel | None = None
 
 
 @dataclass
@@ -73,22 +80,46 @@ class IFAQCompiler:
     db, query
         The input database and the feature-extraction join query.
     aggregate_mode
-        Which Section 4.3 strategy evaluates the extracted batch.
+        Which Section 4.3 strategy the engine backend uses.
     backend
-        ``engine`` interprets the view tree in Python; ``python``
-        executes a generated specialized kernel; ``cpp`` compiles the
-        generated C++ with g++ (falls back to ``python`` when no
-        toolchain is available).
+        A registered backend name — ``engine`` interprets the view
+        tree, ``python`` executes a generated specialized kernel,
+        ``cpp`` compiles the generated C++ with g++ (resolving to the
+        Python backend when no toolchain is available), ``sharded``
+        wraps an inner backend over K root shards — or any
+        :class:`ExecutionBackend` instance.
     layout
         Data-layout options for the generated kernels (Section 4.4).
+    kernel_cache
+        Where compiled kernels are looked up; defaults to the
+        process-wide cache.
     """
 
     db: Database
     query: JoinQuery
     aggregate_mode: AggregateMode = "trie"
-    backend: Backend = "python"
+    backend: str | ExecutionBackend = "python"
     layout: LayoutOptions = field(default_factory=lambda: LAYOUT_SORTED)
     q_var: str = "Q"
+    kernel_cache: KernelCache | None = None
+
+    _backend_impl: ExecutionBackend | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    # -- backend resolution ----------------------------------------------
+
+    @property
+    def backend_impl(self) -> ExecutionBackend:
+        """The resolved execution backend (resolved exactly once)."""
+        if self._backend_impl is None:
+            self._backend_impl = get_backend(
+                self.backend, aggregate_mode=self.aggregate_mode, query=self.query
+            )
+        return self._backend_impl
+
+    def _cache(self) -> KernelCache:
+        return self.kernel_cache if self.kernel_cache is not None else default_kernel_cache()
 
     # -- compilation -----------------------------------------------------
 
@@ -106,14 +137,13 @@ class IFAQCompiler:
 
         join_tree = None
         plan = None
-        kernel_source = None
+        kernel = None
         if len(batch):
             join_tree = build_join_tree(
                 self.db.schema(), self.query.relations, stats=dict(self.db.statistics())
             )
             plan = build_batch_plan(self.db, join_tree, batch)
-            if self.backend in ("python", "cpp"):
-                kernel_source = self._kernel_source(plan)
+            kernel = self._cache().get_or_compile(self.backend_impl, plan, self.layout)
 
         return CompilationArtifacts(
             source=program,
@@ -123,14 +153,11 @@ class IFAQCompiler:
             batch=batch,
             join_tree=join_tree,
             plan=plan,
-            kernel_source=kernel_source,
+            kernel_source=kernel.source if kernel else None,
+            compile_seconds=kernel.compile_seconds if kernel else 0.0,
             state_type=state_type,
+            kernel=kernel,
         )
-
-    def _kernel_source(self, plan: BatchPlan) -> str:
-        if self.backend == "cpp" and gxx_available():
-            return generate_cpp_kernel(plan, self.layout).source
-        return generate_python_kernel(plan, self.layout).source
 
     # -- execution ---------------------------------------------------------
 
@@ -139,44 +166,22 @@ class IFAQCompiler:
         batch = artifacts.batch
         if not len(batch):
             return {}
-        if self.backend == "engine" or artifacts.plan is None:
-            return self._engine_batch(artifacts)
-        if self.backend == "cpp" and gxx_available():
-            return self._cpp_batch(artifacts)
-        return self._python_batch(artifacts)
-
-    def _engine_batch(self, artifacts: CompilationArtifacts) -> dict[str, float]:
-        batch, tree = artifacts.batch, artifacts.join_tree
-        if self.aggregate_mode == "materialized" or tree is None:
+        if artifacts.plan is None:
+            # No join tree (e.g. a batch over a single relation outside
+            # the query): fall back to the materializing oracle.
             return compute_batch_materialized(self.db, self.query, batch)
-        if self.aggregate_mode == "pushdown":
-            return compute_batch_pushdown(self.db, tree, batch)
-        if self.aggregate_mode == "merged":
-            return compute_batch_merged(self.db, tree, batch)
-        return compute_batch_trie(self.db, tree, batch)
-
-    def _python_batch(self, artifacts: CompilationArtifacts) -> dict[str, float]:
-        assert artifacts.plan is not None
-        kernel = generate_python_kernel(artifacts.plan, self.layout)
-        fn = kernel.compile()
-        data = prepare_data(self.db, artifacts.plan, self.layout)
-        values = fn(data)
-        return {
-            spec.name: values[i] for i, spec in enumerate(artifacts.batch)
-        }
-
-    def _cpp_batch(self, artifacts: CompilationArtifacts) -> dict[str, float]:
-        assert artifacts.plan is not None
-        kernel = generate_cpp_kernel(artifacts.plan, self.layout)
-        compiled = compile_kernel(kernel)
-        artifacts.compile_seconds = compiled.compile_seconds
-        with tempfile.TemporaryDirectory() as tmp:
-            data_path = Path(tmp) / "data.bin"
-            write_binary_data(self.db, artifacts.plan, data_path, self.layout)
-            _, values = compiled.run(data_path)
-        return {
-            spec.name: values[i] for i, spec in enumerate(artifacts.batch)
-        }
+        kernel = artifacts.kernel
+        expected = artifacts.plan.fingerprint(self.layout, self.backend_impl.kernel_key)
+        if kernel is None or kernel.fingerprint != expected:
+            # Artifacts compiled elsewhere (or under another backend):
+            # resolve the right kernel through the cache.
+            kernel = self._cache().get_or_compile(
+                self.backend_impl, artifacts.plan, self.layout
+            )
+            artifacts.kernel = kernel
+            artifacts.kernel_source = kernel.source
+            artifacts.compile_seconds = kernel.compile_seconds
+        return self.backend_impl.execute(kernel, self.db)
 
     def run(self, program: Program) -> Any:
         """Compile, evaluate the batch, and execute the residual program."""

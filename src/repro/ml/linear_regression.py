@@ -20,18 +20,13 @@ from typing import Literal, Mapping, Sequence
 import numpy as np
 
 from repro.aggregates.batch import AggregateSpec, covar_batch
-from repro.aggregates.engine import (
-    compute_batch_materialized,
-    compute_batch_merged,
-    compute_batch_pushdown,
-    compute_batch_trie,
-)
+from repro.aggregates.engine import compute_batch_materialized
 from repro.aggregates.join_tree import build_join_tree
-from repro.backend.codegen_cpp import generate_cpp_kernel, write_binary_data
-from repro.backend.codegen_python import generate_python_kernel
-from repro.backend.compile_cpp import compile_kernel, gxx_available
+from repro.backend.base import ExecutionBackend
+from repro.backend.cache import default_kernel_cache
 from repro.backend.layout import LAYOUT_SORTED, LayoutOptions
-from repro.backend.plan import build_batch_plan, prepare_data
+from repro.backend.plan import build_batch_plan
+from repro.backend.registry import get_backend
 from repro.db.database import Database
 from repro.db.query import JoinQuery
 from repro.ml.programs import linear_regression_bgd
@@ -53,7 +48,7 @@ class IFAQLinearRegression:
     iterations: int = 50
     alpha: float = 0.1
     aggregate_mode: Literal["materialized", "pushdown", "merged", "trie"] = "trie"
-    backend: Literal["engine", "python", "cpp"] = "python"
+    backend: str | ExecutionBackend = "python"
     layout: LayoutOptions = field(default_factory=lambda: LAYOUT_SORTED)
     tolerance: float = 1e-10
 
@@ -65,32 +60,22 @@ class IFAQLinearRegression:
     # -- covar computation -------------------------------------------------
 
     def compute_covar(self, db: Database, query: JoinQuery) -> dict[str, float]:
-        """The covar batch over the join, by the configured strategy."""
+        """The covar batch over the join, by the configured strategy.
+
+        The backend is resolved through the registry (any registered
+        name or :class:`ExecutionBackend` instance), and kernels are
+        reused across GD refits via the process-wide kernel cache.
+        """
         batch = covar_batch(list(self.features), label=self.label)
         if self.aggregate_mode == "materialized":
             return compute_batch_materialized(db, query, batch)
         tree = build_join_tree(db.schema(), query.relations, stats=dict(db.statistics()))
-        if self.backend == "engine":
-            engine = {
-                "pushdown": compute_batch_pushdown,
-                "merged": compute_batch_merged,
-                "trie": compute_batch_trie,
-            }[self.aggregate_mode]
-            return engine(db, tree, batch)
         plan = build_batch_plan(db, tree, batch)
-        if self.backend == "cpp" and gxx_available():
-            import tempfile
-            from pathlib import Path
-
-            kernel = compile_kernel(generate_cpp_kernel(plan, self.layout))
-            with tempfile.TemporaryDirectory() as tmp:
-                data_path = Path(tmp) / "data.bin"
-                write_binary_data(db, plan, data_path, self.layout)
-                _, values = kernel.run(data_path)
-        else:
-            fn = generate_python_kernel(plan, self.layout).compile()
-            values = fn(prepare_data(db, plan, self.layout))
-        return {spec.name: values[i] for i, spec in enumerate(batch)}
+        backend = get_backend(
+            self.backend, aggregate_mode=self.aggregate_mode, query=query
+        )
+        kernel = default_kernel_cache().get_or_compile(backend, plan, self.layout)
+        return backend.execute(kernel, db)
 
     # -- training ------------------------------------------------------------
 

@@ -1,0 +1,147 @@
+"""Kernel cache: fingerprints, hit/miss accounting, compile-once identity."""
+
+import math
+
+from repro.aggregates import build_join_tree, covar_batch
+from repro.backend import (
+    EngineBackend,
+    KernelCache,
+    PythonKernelBackend,
+    build_batch_plan,
+)
+from repro.backend.layout import LAYOUT_ARRAYS, LAYOUT_SORTED
+from repro.compiler import IFAQCompiler
+from repro.data import star_schema
+from repro.ml.programs import linear_regression_bgd
+
+
+def make_plan(db, query):
+    batch = covar_batch(["cityf", "price"], label="units")
+    tree = build_join_tree(db.schema(), query.relations, stats=db.statistics())
+    return build_batch_plan(db, tree, batch)
+
+
+class TestFingerprint:
+    def test_stable_across_rebuilds(self, int_star_db, int_star_query):
+        p1 = make_plan(int_star_db, int_star_query)
+        p2 = make_plan(int_star_db, int_star_query)
+        assert p1.fingerprint(LAYOUT_SORTED, "python") == p2.fingerprint(
+            LAYOUT_SORTED, "python"
+        )
+
+    def test_distinguishes_layout_and_backend(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        fps = {
+            plan.fingerprint(LAYOUT_SORTED, "python"),
+            plan.fingerprint(LAYOUT_ARRAYS, "python"),
+            plan.fingerprint(LAYOUT_SORTED, "cpp"),
+            plan.fingerprint(LAYOUT_SORTED, "engine:trie"),
+        }
+        assert len(fps) == 4
+
+
+class CountingBackend(PythonKernelBackend):
+    """A Python backend that counts compile_plan calls."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.compile_calls = 0
+
+    def compile_plan(self, plan, layout):
+        self.compile_calls += 1
+        return super().compile_plan(plan, layout)
+
+
+class TestKernelCache:
+    def test_hit_miss_accounting(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        cache = KernelCache()
+        backend = CountingBackend()
+        k1 = cache.get_or_compile(backend, plan, LAYOUT_SORTED)
+        k2 = cache.get_or_compile(backend, plan, LAYOUT_SORTED)
+        assert k1 is k2
+        assert backend.compile_calls == 1
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert 0.0 < cache.stats.hit_rate < 1.0
+
+    def test_different_layouts_are_different_entries(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        cache = KernelCache()
+        backend = CountingBackend()
+        cache.get_or_compile(backend, plan, LAYOUT_SORTED)
+        cache.get_or_compile(backend, plan, LAYOUT_ARRAYS)
+        assert backend.compile_calls == 2
+        assert len(cache) == 2
+
+    def test_capacity_eviction(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        cache = KernelCache(capacity=1)
+        backend = CountingBackend()
+        cache.get_or_compile(backend, plan, LAYOUT_SORTED)
+        cache.get_or_compile(backend, plan, LAYOUT_ARRAYS)
+        assert len(cache) == 1
+        assert cache.stats.evictions == 1
+        # The evicted layout recompiles.
+        cache.get_or_compile(backend, plan, LAYOUT_SORTED)
+        assert backend.compile_calls == 3
+
+    def test_clear_resets_stats(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        cache = KernelCache()
+        cache.get_or_compile(CountingBackend(), plan, LAYOUT_SORTED)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.misses == 0
+
+
+class TestCompilerIntegration:
+    """The compile()-time kernel is the executed kernel (no rebuilds)."""
+
+    def _setup(self):
+        ds = star_schema(n_facts=400, n_dims=2, dim_size=10, attrs_per_dim=1, seed=5)
+        program = linear_regression_bgd(
+            ds.db.schema(), ds.query, ds.features, ds.label, iterations=5, alpha=0.05
+        )
+        return ds, program
+
+    def test_compiled_kernel_is_executed(self):
+        ds, program = self._setup()
+        backend = CountingBackend()
+        compiler = IFAQCompiler(
+            db=ds.db, query=ds.query, backend=backend, kernel_cache=KernelCache()
+        )
+        artifacts = compiler.compile(program)
+        assert artifacts.kernel is not None
+        assert artifacts.kernel_source == artifacts.kernel.source
+        assert backend.compile_calls == 1
+
+        before = artifacts.kernel
+        compiler.compute_batch(artifacts)
+        # Execution reused the compile()-time kernel: nothing regenerated.
+        assert artifacts.kernel is before
+        assert backend.compile_calls == 1
+
+    def test_second_compile_hits_cache(self):
+        ds, program = self._setup()
+        cache = KernelCache()
+        compiler = IFAQCompiler(
+            db=ds.db, query=ds.query, backend=CountingBackend(), kernel_cache=cache
+        )
+        a1 = compiler.compile(program)
+        a2 = compiler.compile(program)
+        assert a2.kernel is a1.kernel
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_cached_execution_matches_engine(self):
+        ds, program = self._setup()
+        engine_state = IFAQCompiler(
+            db=ds.db, query=ds.query, backend=EngineBackend()
+        ).run(program)
+        cached = IFAQCompiler(
+            db=ds.db, query=ds.query, backend=CountingBackend(), kernel_cache=KernelCache()
+        )
+        state = cached.run(program)
+        for k in engine_state["theta"].field_names():
+            assert math.isclose(
+                engine_state["theta"][k], state["theta"][k], rel_tol=1e-8
+            )

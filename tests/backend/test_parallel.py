@@ -1,0 +1,132 @@
+"""ShardedBackend: partitioning, merge correctness, bit-identity."""
+
+import math
+
+import pytest
+
+from repro.aggregates import build_join_tree, covar_batch
+from repro.backend import (
+    EngineBackend,
+    KernelCache,
+    PythonKernelBackend,
+    ShardedBackend,
+    build_batch_plan,
+    shard_database,
+)
+from repro.backend.layout import LAYOUT_BASELINE, LAYOUT_SORTED
+from repro.compiler import IFAQCompiler
+from repro.data import star_schema
+from repro.ml.programs import linear_regression_bgd
+
+
+def make_plan(db, query):
+    batch = covar_batch(["cityf", "price"], label="units")
+    tree = build_join_tree(db.schema(), query.relations, stats=db.statistics())
+    return build_batch_plan(db, tree, batch)
+
+
+class TestShardDatabase:
+    def test_partition_preserves_tuples(self, int_star_db):
+        shards = shard_database(int_star_db, "S", 4)
+        assert len(shards) == 4
+        total = sum(s.relation("S").tuple_count() for s in shards)
+        assert total == int_star_db.relation("S").tuple_count()
+        # Non-root relations are shared, not copied.
+        for s in shards:
+            assert s.relation("R") is int_star_db.relation("R")
+
+    def test_more_shards_than_rows(self, int_star_db):
+        n = int_star_db.relation("R").distinct_count()
+        shards = shard_database(int_star_db, "R", n + 50)
+        assert len(shards) == n
+        assert all(s.relation("R").distinct_count() == 1 for s in shards)
+
+
+class TestShardedPython:
+    """Block-structured sharding is bit-identical to single-shot."""
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 7])
+    def test_bit_identical_to_single_shot(self, int_star_db, int_star_query, shards):
+        plan = make_plan(int_star_db, int_star_query)
+        # Small blocks so every shard count actually distributes work.
+        inner = PythonKernelBackend(block_size=16)
+        kernel = inner.compile_plan(plan, LAYOUT_SORTED)
+        single = inner.execute(kernel, int_star_db)
+        sharded = ShardedBackend(inner=inner, shards=shards).execute(kernel, int_star_db)
+        assert sharded == single  # exact float equality, not isclose
+
+    def test_records_shard_timings(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        inner = PythonKernelBackend(block_size=16)
+        backend = ShardedBackend(inner=inner, shards=3)
+        kernel = backend.compile_plan(plan, LAYOUT_SORTED)
+        backend.execute(kernel, int_star_db)
+        assert len(backend.last_shard_seconds) == 3
+        assert all(s >= 0 for s in backend.last_shard_seconds)
+
+    def test_dict_layout_also_sharded(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        inner = PythonKernelBackend(block_size=16)
+        kernel = inner.compile_plan(plan, LAYOUT_BASELINE)
+        single = inner.execute(kernel, int_star_db)
+        sharded = ShardedBackend(inner=inner, shards=4).execute(kernel, int_star_db)
+        assert sharded == single
+
+
+class TestShardedEngine:
+    @pytest.mark.parametrize("mode", ["materialized", "pushdown", "merged", "trie"])
+    def test_matches_single_shot(self, int_star_db, int_star_query, mode):
+        plan = make_plan(int_star_db, int_star_query)
+        inner = EngineBackend(aggregate_mode=mode)
+        kernel = inner.compile_plan(plan, LAYOUT_SORTED)
+        single = inner.execute(kernel, int_star_db)
+        sharded = ShardedBackend(inner=inner, shards=4).execute(kernel, int_star_db)
+        assert set(sharded) == set(single)
+        for name, value in single.items():
+            assert math.isclose(sharded[name], value, rel_tol=1e-9), (mode, name)
+
+
+@pytest.mark.cpp
+class TestShardedCpp:
+    def test_matches_single_shot(self, int_star_db, int_star_query):
+        from repro.backend import CppKernelBackend
+
+        plan = make_plan(int_star_db, int_star_query)
+        inner = CppKernelBackend()
+        kernel = inner.compile_plan(plan, LAYOUT_SORTED)
+        single = inner.execute(kernel, int_star_db)
+        sharded = ShardedBackend(inner=inner, shards=4).execute(kernel, int_star_db)
+        for name, value in single.items():
+            assert math.isclose(sharded[name], value, rel_tol=1e-9), name
+
+
+class TestShardedCompiler:
+    """The acceptance workload: sharded LR through the full compiler."""
+
+    def test_fig5_lr_sharded_equals_single_shot(self):
+        ds = star_schema(n_facts=600, n_dims=2, dim_size=15, attrs_per_dim=1, seed=2)
+        program = linear_regression_bgd(
+            ds.db.schema(), ds.query, ds.features, ds.label, iterations=10, alpha=0.05
+        )
+        single = IFAQCompiler(
+            db=ds.db, query=ds.query, backend="python", kernel_cache=KernelCache()
+        )
+        sharded = IFAQCompiler(
+            db=ds.db,
+            query=ds.query,
+            backend=ShardedBackend(inner="python", shards=4),
+            kernel_cache=KernelCache(),
+        )
+        a_single = single.compile(program)
+        a_sharded = sharded.compile(program)
+        # Bit-identical aggregate vectors...
+        assert sharded.compute_batch(a_sharded) == single.compute_batch(a_single)
+        # ...and therefore bit-identical trained parameters.
+        s1 = single.run_artifacts(a_single)
+        s2 = sharded.run_artifacts(a_sharded)
+        for k in s1["theta"].field_names():
+            assert s1["theta"][k] == s2["theta"][k]
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardedBackend(inner="python", shards=0)

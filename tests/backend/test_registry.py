@@ -1,0 +1,83 @@
+"""Backend registry: resolution, fallback, extension."""
+
+import pytest
+
+from repro.backend import (
+    BackendResolutionError,
+    CppKernelBackend,
+    EngineBackend,
+    ExecutionBackend,
+    PythonKernelBackend,
+    ShardedBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.backend.compile_cpp import gxx_available
+
+
+class TestResolution:
+    def test_builtins_registered(self):
+        assert {"engine", "python", "cpp", "sharded"} <= set(available_backends())
+
+    def test_python_resolves(self):
+        backend = get_backend("python")
+        assert isinstance(backend, PythonKernelBackend)
+        assert backend.name == "python"
+
+    def test_engine_receives_context(self):
+        backend = get_backend("engine", aggregate_mode="merged")
+        assert isinstance(backend, EngineBackend)
+        assert backend.aggregate_mode == "merged"
+        assert backend.kernel_key == "engine:merged"
+
+    def test_cpp_fallback_decided_once(self):
+        backend = get_backend("cpp")
+        if gxx_available():
+            assert isinstance(backend, CppKernelBackend)
+        else:
+            # No toolchain: resolution (not execution) picks Python.
+            assert isinstance(backend, PythonKernelBackend)
+
+    def test_instance_passthrough(self):
+        instance = PythonKernelBackend(block_size=7)
+        assert get_backend(instance) is instance
+
+    def test_sharded_resolves_with_context(self):
+        backend = get_backend("sharded", inner="python", shards=3)
+        assert isinstance(backend, ShardedBackend)
+        assert backend.shards == 3
+        assert isinstance(backend.inner, PythonKernelBackend)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(BackendResolutionError, match="unknown backend"):
+            get_backend("fortran")
+
+    def test_non_string_raises(self):
+        with pytest.raises(TypeError):
+            get_backend(42)
+
+
+class TestRegistration:
+    def test_register_and_unregister(self):
+        class NullBackend(ExecutionBackend):
+            name = "null"
+
+            def compile_plan(self, plan, layout):
+                raise NotImplementedError
+
+            def execute(self, kernel, db):
+                raise NotImplementedError
+
+        register_backend("null", lambda **ctx: NullBackend())
+        try:
+            assert isinstance(get_backend("null"), NullBackend)
+        finally:
+            unregister_backend("null")
+        with pytest.raises(BackendResolutionError):
+            get_backend("null")
+
+    def test_duplicate_requires_replace(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("python", lambda **ctx: PythonKernelBackend())

@@ -1,0 +1,126 @@
+"""Property: sharded evaluation equals single-shot evaluation.
+
+Batch aggregates are Σ-folds, so for any partition of the root relation
+the ring-monoid merge of per-shard partials equals the unpartitioned
+result (the merge law).  Two layers of the property are checked on
+random star instances:
+
+* **Python backend, exact**: the block-structured executor guarantees
+  bit-identical results for every shard count — asserted with ``==``.
+* **Engine backends, all aggregate modes**: the sub-database path
+  re-associates float additions, so equality is up to 1e-9; with
+  integer-valued attributes (products stay well inside 2⁵³) float
+  arithmetic is exact and ``==`` holds for every mode and shard count.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import AggregateBatch, AggregateSpec, build_join_tree
+from repro.backend import (
+    EngineBackend,
+    PythonKernelBackend,
+    ShardedBackend,
+    build_batch_plan,
+)
+from repro.backend.layout import LAYOUT_SORTED
+from repro.db import Database, JoinQuery, Relation, RelationSchema
+from repro.ir.types import INT, REAL
+
+SHARD_COUNTS = (1, 2, 4, 7)
+MODES = ("materialized", "pushdown", "merged", "trie")
+
+float_values = st.floats(min_value=-4, max_value=4, allow_nan=False, allow_infinity=False)
+int_values = st.integers(-9, 9)
+
+
+def _star(draw, value_strategy):
+    n_keys = draw(st.integers(1, 5))
+    dim_rows = [(k, draw(value_strategy)) for k in range(n_keys)]
+    n_facts = draw(st.integers(0, 30))
+    fact_rows = [
+        (draw(st.integers(0, n_keys - 1)), draw(value_strategy))
+        for _ in range(n_facts)
+    ]
+    fact = Relation.from_rows(
+        RelationSchema.of("F", [("k", INT), ("y", REAL)]), fact_rows
+    )
+    dim = Relation.from_rows(
+        RelationSchema.of("D", [("k", INT), ("a", REAL)]), dim_rows
+    )
+    return Database.of(fact, dim)
+
+
+@st.composite
+def float_stars(draw):
+    return _star(draw, st.builds(lambda v: round(v, 3), float_values))
+
+
+@st.composite
+def int_stars(draw):
+    # Integer-valued REAL attributes: every product and sum is exactly
+    # representable, so float addition is associative on this domain.
+    return _star(draw, st.builds(float, int_values))
+
+
+@st.composite
+def batches(draw):
+    attrs = ("y", "a")
+    specs = [AggregateSpec.of()]
+    for _ in range(draw(st.integers(1, 4))):
+        degree = draw(st.integers(1, 3))
+        specs.append(
+            AggregateSpec.of(*(draw(st.sampled_from(attrs)) for _ in range(degree)))
+        )
+    return AggregateBatch.of(specs)
+
+
+def make_plan(db, batch):
+    tree = build_join_tree(db.schema(), ("F", "D"), stats=dict(db.statistics()))
+    return build_batch_plan(db, tree, batch)
+
+
+@settings(max_examples=40, deadline=None)
+@given(db=float_stars(), batch=batches())
+def test_sharded_python_bit_identical(db, batch):
+    """Merge law, strongest form: floats, every K, exact equality."""
+    plan = make_plan(db, batch)
+    inner = PythonKernelBackend(block_size=4)
+    kernel = inner.compile_plan(plan, LAYOUT_SORTED)
+    single = inner.execute(kernel, db)
+    for shards in SHARD_COUNTS:
+        sharded = ShardedBackend(inner=inner, shards=shards).execute(kernel, db)
+        assert sharded == single, shards
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=int_stars(), batch=batches())
+def test_sharded_engine_exact_on_integer_domain(db, batch):
+    """Merge law over all aggregate modes, exact on the integer domain."""
+    plan = make_plan(db, batch)
+    for mode in MODES:
+        inner = EngineBackend(aggregate_mode=mode, query=JoinQuery(("F", "D")))
+        kernel = inner.compile_plan(plan, LAYOUT_SORTED)
+        single = inner.execute(kernel, db)
+        for shards in SHARD_COUNTS:
+            sharded = ShardedBackend(inner=inner, shards=shards).execute(kernel, db)
+            assert sharded == single, (mode, shards)
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=float_stars(), batch=batches())
+def test_sharded_engine_close_on_float_domain(db, batch):
+    """Merge law over all aggregate modes, 1e-9-close on floats."""
+    plan = make_plan(db, batch)
+    for mode in MODES:
+        inner = EngineBackend(aggregate_mode=mode, query=JoinQuery(("F", "D")))
+        kernel = inner.compile_plan(plan, LAYOUT_SORTED)
+        single = inner.execute(kernel, db)
+        for shards in SHARD_COUNTS:
+            sharded = ShardedBackend(inner=inner, shards=shards).execute(kernel, db)
+            for name, value in single.items():
+                assert math.isclose(
+                    sharded[name], value, rel_tol=1e-9, abs_tol=1e-9
+                ), (mode, shards, name)
