@@ -52,7 +52,12 @@ def bundle(dataset_name, dataset_size):
 
 
 def ifaq_backend() -> str:
-    """C++ when a toolchain exists (the paper's backend), else Python."""
+    """The benchmark backend: ``REPRO_BACKEND`` if set (CI runs a
+    ``numpy`` leg), else C++ when a toolchain exists (the paper's
+    backend), else Python."""
+    override = os.environ.get("REPRO_BACKEND")
+    if override:
+        return override
     from repro.backend.compile_cpp import gxx_available
 
     return "cpp" if gxx_available() else "python"

@@ -16,7 +16,8 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import load_dataset
-from repro.bench import emit, emit_header
+from repro.backend import KernelCache
+from repro.bench import emit, emit_header, emit_kernel_cache, record_extra_info
 from repro.ml import (
     BaselineRegressionTree,
     IFAQRegressionTree,
@@ -50,6 +51,33 @@ def test_ifaq_tree_end_to_end(benchmark, name, size):
     emit_header(f"Figure 5 tree — {ds.name} [{size}]")
     emit(f"  nodes={fitted.root_.node_count()} depth={fitted.root_.depth()}")
     assert fitted.root_.depth() <= DEPTH + 1
+
+
+@pytest.mark.parametrize("name,size", CASES)
+def test_ifaq_tree_groupby_registry(benchmark, name, size):
+    """Tree training through the backend registry: every per-node
+    group-by batch resolves a cached kernel, so the cache report shows
+    one miss per feature and a hit for every further node visit."""
+    ds = load_dataset(name, size)
+    benchmark.group = _group(name, size)
+    features = _features(ds, name)
+    cache = KernelCache()
+    model = IFAQRegressionTree(
+        features,
+        ds.label,
+        max_depth=DEPTH,
+        max_thresholds=64,
+        method="interpreted",
+        backend="numpy",
+        kernel_cache=cache,
+    )
+    fitted = benchmark.pedantic(lambda: model.fit(ds.db, ds.query), rounds=1, iterations=1)
+    emit_header(f"Figure 5 tree via registry — {ds.name} [{size}] (backend=numpy)")
+    emit(f"  nodes={fitted.root_.node_count()} depth={fitted.root_.depth()}")
+    emit_kernel_cache(cache.stats, label="group-by kernel cache")
+    record_extra_info(benchmark, kernel_cache=cache.stats.as_dict())
+    assert cache.stats.misses == len(features)
+    assert cache.stats.hits > cache.stats.misses
 
 
 @pytest.mark.parametrize("name,size", CASES)

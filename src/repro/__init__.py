@@ -31,6 +31,7 @@ from repro.aggregates import (
     build_join_tree,
     covar_batch,
 )
+from repro.aggregates import compute_groupby
 from repro.backend import (
     CppKernelBackend,
     EngineBackend,
@@ -38,6 +39,7 @@ from repro.backend import (
     Kernel,
     KernelCache,
     LayoutOptions,
+    NumpyBackend,
     PythonKernelBackend,
     ShardedBackend,
     available_backends,
@@ -48,7 +50,7 @@ from repro.backend import (
 from repro.compiler import CompilationArtifacts, IFAQCompiler
 from repro.db import Database, JoinQuery, Relation, RelationSchema
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 #: lazily imported ML entry points (numpy-backed)
 _LAZY_ML = {
@@ -64,9 +66,10 @@ __all__ = [
     "AggregateBatch", "AggregateSpec", "CompilationArtifacts",
     "CppKernelBackend", "Database", "EngineBackend", "ExecutionBackend",
     "IFAQCompiler", "JoinQuery", "Kernel", "KernelCache", "LayoutOptions",
-    "PythonKernelBackend", "Relation", "RelationSchema", "ShardedBackend",
-    "__version__", "available_backends", "build_join_tree", "covar_batch",
-    "default_kernel_cache", "get_backend", "register_backend",
+    "NumpyBackend", "PythonKernelBackend", "Relation", "RelationSchema",
+    "ShardedBackend", "__version__", "available_backends", "build_join_tree",
+    "compute_groupby", "covar_batch", "default_kernel_cache", "get_backend",
+    "register_backend",
     *sorted(_LAZY_ML),
 ]
 

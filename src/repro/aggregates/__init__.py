@@ -8,12 +8,14 @@ from repro.aggregates.batch import (
     variance_batch,
 )
 from repro.aggregates.engine import (
+    apply_predicates,
     compute_batch_materialized,
     compute_batch_merged,
     compute_batch_mode,
     compute_batch_pushdown,
     compute_batch_trie,
     compute_groupby,
+    compute_groupby_tree,
 )
 from repro.aggregates.extract import (
     ExtractionResult,
@@ -32,10 +34,10 @@ from repro.aggregates.join_tree import (
 
 __all__ = [
     "COUNT", "AggregateBatch", "AggregateSpec", "ExtractionResult",
-    "JoinTreeError", "JoinTreeNode", "build_join_tree",
+    "JoinTreeError", "JoinTreeNode", "apply_predicates", "build_join_tree",
     "compute_batch_materialized", "compute_batch_merged",
     "compute_batch_mode", "compute_batch_pushdown", "compute_batch_trie",
-    "compute_groupby",
+    "compute_groupby", "compute_groupby_tree",
     "covar_batch", "extract_aggregates", "extract_program_aggregates",
     "match_aggregate", "merged_views_expr", "remove_dead_inits", "reroot",
     "variance_batch", "views_per_aggregate_expr",

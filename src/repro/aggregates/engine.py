@@ -19,9 +19,11 @@ progressively optimized engines — the exact ladder of Figure 7a:
 join (what the mainstream pipeline does) and aggregates over it.
 
 All engines accept per-relation predicates, which is how the CART
-learner pushes its node conditions δ into the scans, and
-:func:`compute_groupby` computes group-by batches by rerooting the join
-tree at the owner of the grouping attribute.
+learner pushes its node conditions δ into the scans.  Group-by batches
+reroot the join tree at the owner of the grouping attribute:
+:func:`compute_groupby_tree` is the interpreted evaluator, while
+:func:`compute_groupby` routes the batch through the execution-backend
+registry and the kernel cache like any other plannable kernel.
 """
 
 from __future__ import annotations
@@ -46,6 +48,28 @@ def _passes(rel_name: str, rec: RecordValue, predicates: Predicates | None) -> b
         if not p(rec):
             return False
     return True
+
+
+def apply_predicates(db: Database, predicates: Predicates | None) -> Database:
+    """A database with per-relation predicates folded into the data.
+
+    Scanning the filtered relations is equivalent to applying the
+    predicates inside the scans (they are per-relation and record-local),
+    which lets kernel backends that cannot evaluate Python callables
+    push δ conditions by filtering their input instead.
+    """
+    if not predicates:
+        return db
+    relations = dict(db.relations)
+    for name, preds in predicates.items():
+        if not preds or name not in relations:
+            continue
+        rel = relations[name]
+        relations[name] = Relation(
+            rel.schema,
+            {rec: m for rec, m in rel.data.items() if _passes(name, rec, predicates)},
+        )
+    return Database(relations)
 
 
 def assign_attribute_owners(
@@ -396,11 +420,55 @@ def compute_groupby(
     batch: AggregateBatch,
     group_attr: str,
     predicates: Predicates | None = None,
+    *,
+    backend: Any = "engine",
+    kernel_cache: Any = None,
+    layout: Any = None,
+    plan: Any = None,
 ) -> dict[Any, list[float]]:
     """Per-group aggregate vectors: ``group value → [agg values]``.
 
+    Group-by batches flow through the same plan → kernel → cache path
+    as scalar batches: a group-by :class:`~repro.backend.plan.BatchPlan`
+    (rerooted at the owner of ``group_attr``) is compiled once per
+    (plan, layout, backend) fingerprint and every later call — e.g. the
+    tree learner's per-node batches for the same feature — reuses the
+    cached kernel with only the δ ``predicates`` changing at execution.
+
+    ``backend`` is any registered name or
+    :class:`~repro.backend.base.ExecutionBackend` instance; ``plan`` may
+    be supplied prebuilt to skip planning (the fingerprint is cheap, the
+    per-child cardinality statistics are not).
+    """
+    # Imported lazily: this module sits below the backend layer.
+    from repro.backend.cache import default_kernel_cache
+    from repro.backend.layout import LAYOUT_SORTED
+    from repro.backend.plan import build_batch_plan
+    from repro.backend.registry import get_backend
+
+    if plan is None:
+        plan = build_batch_plan(db, tree, batch, group_attr=group_attr)
+    backend_impl = get_backend(backend)
+    cache = kernel_cache if kernel_cache is not None else default_kernel_cache()
+    kernel = cache.get_or_compile(
+        backend_impl, plan, layout if layout is not None else LAYOUT_SORTED
+    )
+    return backend_impl.run_groupby(kernel, db, predicates)
+
+
+def compute_groupby_tree(
+    db: Database,
+    tree: JoinTreeNode,
+    batch: AggregateBatch,
+    group_attr: str,
+    predicates: Predicates | None = None,
+) -> dict[Any, list[float]]:
+    """The interpreted group-by evaluator (the engine backend's kernel).
+
     The tree is rerooted at the relation owning ``group_attr`` so the
-    final scan is keyed by the grouping attribute directly.
+    final scan is keyed by the grouping attribute directly.  Most
+    callers want :func:`compute_groupby`, which adds kernel caching and
+    backend choice on top of this.
     """
     owners = assign_attribute_owners(tree, db, list(batch.all_attributes()) + [group_attr])
     owner = owners[group_attr]

@@ -2,25 +2,35 @@
 
 Layer map::
 
-    plan.py            physical plans (+ fingerprints for caching)
+    plan.py            physical plans, incl. group-by (+ fingerprints)
     layout.py          Section 4.4 layout switches
     codegen_python.py  specialized Python kernels (views / root-scan split)
     codegen_cpp.py     specialized C++ kernels
     compile_cpp.py     g++ driver with content-hash binary caching
     base.py            the ExecutionBackend protocol and Kernel artifact
     executors.py       EngineBackend / PythonKernelBackend / CppKernelBackend
+    numpy_backend.py   NumpyBackend: columnar ndarray evaluation
     registry.py        name → backend resolution (cpp→python fallback)
-    cache.py           KernelCache keyed by plan fingerprints
+    cache.py           KernelCache + on-disk kernel-source persistence
     parallel.py        ShardedBackend: K-way sharded evaluation
 """
 
 from repro.backend.base import (
     ExecutionBackend,
     Kernel,
+    merge_group_results,
     merge_results,
     merge_vectors,
 )
-from repro.backend.cache import CacheStats, KernelCache, default_kernel_cache
+from repro.backend.cache import (
+    CacheStats,
+    KernelCache,
+    clear_kernel_sources,
+    default_kernel_cache,
+    kernel_source_dir,
+    load_kernel_source,
+    store_kernel_source,
+)
 from repro.backend.executors import (
     DEFAULT_BLOCK_SIZE,
     CppKernelBackend,
@@ -38,6 +48,7 @@ from repro.backend.layout import (
     LAYOUT_SORTED,
     LayoutOptions,
 )
+from repro.backend.numpy_backend import NumpyBackend, PreparedLayout
 from repro.backend.parallel import DEFAULT_SHARDS, ShardedBackend, shard_database
 from repro.backend.plan import BatchPlan, NodePlan, build_batch_plan, prepare_data
 from repro.backend.registry import (
@@ -54,8 +65,10 @@ __all__ = [
     "ExecutionBackend", "FIGURE_7B_LADDER", "Kernel", "KernelCache",
     "LAYOUT_ARRAYS", "LAYOUT_BASELINE", "LAYOUT_HASH_TRIE", "LAYOUT_RECORDS",
     "LAYOUT_SCALARIZED", "LAYOUT_SORTED", "LayoutOptions", "NodePlan",
-    "PythonKernelBackend", "ShardedBackend", "available_backends",
-    "build_batch_plan", "default_kernel_cache", "get_backend",
-    "merge_results", "merge_vectors", "prepare_data", "register_backend",
-    "shard_database", "tree_from_plan", "unregister_backend",
+    "NumpyBackend", "PreparedLayout", "PythonKernelBackend", "ShardedBackend",
+    "available_backends", "build_batch_plan", "clear_kernel_sources",
+    "default_kernel_cache", "get_backend", "kernel_source_dir",
+    "load_kernel_source", "merge_group_results", "merge_results",
+    "merge_vectors", "prepare_data", "register_backend", "shard_database",
+    "store_kernel_source", "tree_from_plan", "unregister_backend",
 ]

@@ -80,6 +80,35 @@ class ExecutionBackend(ABC):
     def execute(self, kernel: Kernel, db: Database) -> dict[str, float]:
         """Run the kernel over ``db`` and return ``{name: value}``."""
 
+    def run_groupby(self, kernel: Kernel, db: Database, predicates=None) -> dict:
+        """Run a group-by kernel: ``{group value: [aggregate values]}``.
+
+        ``predicates`` are per-relation δ conditions applied at
+        execution time (they are not part of the kernel identity, so
+        one cached kernel serves every tree node).  Backends that can
+        lower group-by plans override this.
+        """
+        raise NotImplementedError(
+            f"backend {self.name!r} does not support group-by plans"
+        )
+
+
+def require_plain(kernel: Kernel) -> None:
+    """Reject group-by kernels where a scalar batch is expected."""
+    if kernel.plan.is_groupby:
+        raise ValueError(
+            f"kernel {kernel.fingerprint} is a group-by kernel "
+            f"(group_attr={kernel.plan.group_attr!r}); use run_groupby"
+        )
+
+
+def require_groupby(kernel: Kernel) -> None:
+    """Reject scalar kernels where a group-by batch is expected."""
+    if not kernel.plan.is_groupby:
+        raise ValueError(
+            f"kernel {kernel.fingerprint} is not a group-by kernel; use execute"
+        )
+
 
 def merge_vectors(partials: list[list[float]]) -> list[float]:
     """Fold partial aggregate vectors with the ring monoid ``v_add``.
@@ -106,4 +135,24 @@ def merge_results(partials: list[dict[str, float]]) -> dict[str, float]:
     for part in partials[1:]:
         for k, v in part.items():
             acc[k] = v_add(acc.get(k, 0.0), v)
+    return acc
+
+
+def merge_group_results(partials: list[dict]) -> dict:
+    """Merge per-shard group-by results with ``v_add`` (shard order).
+
+    Each partial maps ``group value → [aggregate values]``; a group
+    seen by several shards has its vectors folded component-wise, so a
+    partition of the group-by plan's root relation merges exactly like
+    scalar batches do.
+    """
+    acc: dict = {}
+    for part in partials:
+        for key, vec in part.items():
+            cur = acc.get(key)
+            if cur is None:
+                acc[key] = list(vec)
+            else:
+                for i, v in enumerate(vec):
+                    cur[i] = v_add(cur[i], v)
     return acc

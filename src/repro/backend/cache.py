@@ -10,13 +10,21 @@ shape, column orders, layout flags and the backend's kernel key.
 A process-wide default cache backs the compiler driver; callers that
 need isolation (tests, benchmarks measuring cold compiles) pass their
 own :class:`KernelCache`.
+
+Generated *sources* are additionally spilled to disk (next to the C++
+content-hash binary cache) keyed by the same fingerprints, so warm
+starts in a fresh process skip code generation entirely — see
+:func:`load_kernel_source` / :func:`store_kernel_source`.
 """
 
 from __future__ import annotations
 
+import os
+import tempfile
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.backend.base import ExecutionBackend, Kernel
 from repro.backend.layout import LayoutOptions
@@ -100,3 +108,87 @@ _DEFAULT_CACHE = KernelCache()
 def default_kernel_cache() -> KernelCache:
     """The process-wide cache used when a compiler isn't given one."""
     return _DEFAULT_CACHE
+
+
+# -- cross-process source persistence --------------------------------------
+
+#: Bump when a code generator's output changes for the same plan, so
+#: stale spilled sources from older versions are never reused.
+CODEGEN_TAG = "v2"
+
+
+def kernel_source_dir() -> Path:
+    """Where generated kernel sources are spilled across processes.
+
+    Overridable with ``IFAQ_KERNEL_CACHE_DIR`` (tests point it at a tmp
+    directory; deployments can point it at a persistent volume).  The
+    default is per-user and created mode 0700: spilled sources are
+    ``exec``'d on load, so the directory must not be writable by other
+    users.
+    """
+    override = os.environ.get("IFAQ_KERNEL_CACHE_DIR")
+    if override:
+        return Path(override)
+    uid = getattr(os, "getuid", lambda: "")()
+    return Path(tempfile.gettempdir()) / f"ifaq-kernel-cache-{uid}"
+
+
+def _source_path(fingerprint: str) -> Path:
+    return kernel_source_dir() / f"kernel_{CODEGEN_TAG}_{fingerprint}.py"
+
+
+def _trusted_source_dir() -> Path | None:
+    """The spill directory, or ``None`` when it cannot be trusted.
+
+    Spilled sources are ``exec``'d on load, so a pre-existing default
+    directory must be owned by us and not writable by group/other (an
+    attacker pre-creating the predictable /tmp path must not get code
+    execution).  An explicit ``IFAQ_KERNEL_CACHE_DIR`` is the
+    operator's responsibility and is trusted as-is.
+    """
+    directory = kernel_source_dir()
+    if os.environ.get("IFAQ_KERNEL_CACHE_DIR"):
+        return directory
+    try:
+        directory.mkdir(parents=True, exist_ok=True, mode=0o700)
+        st = directory.stat()
+    except OSError:
+        return None
+    getuid = getattr(os, "getuid", None)
+    if getuid is not None and (st.st_uid != getuid() or st.st_mode & 0o022):
+        return None
+    return directory
+
+
+def load_kernel_source(fingerprint: str) -> str | None:
+    """The spilled source for ``fingerprint``, or ``None`` on a cold start."""
+    if _trusted_source_dir() is None:
+        return None
+    try:
+        return _source_path(fingerprint).read_text()
+    except OSError:
+        return None
+
+
+def store_kernel_source(fingerprint: str, source: str) -> Path:
+    """Spill a generated source; atomic so concurrent processes are safe."""
+    directory = _trusted_source_dir()
+    if directory is None:
+        raise OSError(f"kernel source directory {kernel_source_dir()} is untrusted")
+    directory.mkdir(parents=True, exist_ok=True, mode=0o700)
+    path = _source_path(fingerprint)
+    tmp = path.with_suffix(f".{os.getpid()}.tmp")
+    tmp.write_text(source)
+    os.replace(tmp, path)
+    return path
+
+
+def clear_kernel_sources() -> int:
+    """Remove every spilled kernel source; returns the count removed."""
+    removed = 0
+    directory = kernel_source_dir()
+    if directory.is_dir():
+        for path in directory.glob("kernel_*.py"):
+            path.unlink(missing_ok=True)
+            removed += 1
+    return removed

@@ -93,6 +93,11 @@ def write_binary_data(db: Database, plan: BatchPlan, path: str, options: LayoutO
                 fh.write(struct.pack(fmt, *packed))
 
 
+def group_attr_is_key(plan: BatchPlan) -> bool:
+    """Whether the group attribute travels as an int64 key column."""
+    return plan.group_attr in _key_columns(plan.root)
+
+
 @dataclass
 class CppKernel:
     source: str
@@ -140,6 +145,13 @@ class _CppGen:
 
     # -- top level -------------------------------------------------------
 
+    @property
+    def groupby(self) -> bool:
+        return self.plan.is_groupby
+
+    def _group_is_key(self) -> bool:
+        return group_attr_is_key(self.plan)
+
     def emit(self) -> str:
         ns = self.plan.num_aggregates
         self.w("// Generated by repro.backend.codegen_cpp — do not edit.")
@@ -150,11 +162,17 @@ class _CppGen:
         self.w("#include <vector>")
         self.w("#include <array>")
         self.w("#include <unordered_map>")
+        self.w("#include <map>")
         self.w("#include <algorithm>")
         self.w("#include <chrono>")
         self.w()
         self.w(f"static constexpr int NS = {ns};")
         self.w("using Payload = std::array<double, NS>;")
+        if self.groupby:
+            # std::map keeps group output deterministic (sorted by key).
+            gtype = "int64_t" if self._group_is_key() else "double"
+            self.w(f"using GroupKey = {gtype};")
+            self.w("using Groups = std::map<GroupKey, Payload>;")
         self.w()
         for node in self.plan.root.walk():
             self._emit_row_struct(node)
@@ -234,7 +252,8 @@ class _CppGen:
             f"const {self._container(node)}& data_{node.relation}"
             for node in self.plan.root.walk()
         )
-        self.w(f"static std::array<double, NS> kernel({args}) {{")
+        ret = "Groups" if self.groupby else "std::array<double, NS>"
+        self.w(f"static {ret} kernel({args}) {{")
         self.indent += 1
         root = self.plan.root
         views = [self._emit_view(c) for c in root.children]
@@ -332,26 +351,35 @@ class _CppGen:
 
     def _emit_root_flat(self, node: NodePlan, views: list[str]) -> None:
         ns = self.plan.num_aggregates
-        self.w("std::array<double, NS> totals{};")
+        if self.groupby:
+            self.w("Groups groups;")
+        else:
+            self.w("std::array<double, NS> totals{};")
         self.w(self._row_loop(node, "row"))
         self.indent += 1
         for stmt in self._row_prelude(node, "row"):
             self.w(stmt)
         partials = self._emit_child_lookups_hash(node, views)
+        if self.groupby:
+            self.w(f"Payload& gacc = groups[row.{self.plan.group_attr}];")
         for i in range(ns):
-            self.w(f"totals[{i}] += {self._spec_product(node, i, partials, 'row')};")
+            target = f"gacc[{i}]" if self.groupby else f"totals[{i}]"
+            self.w(f"{target} += {self._spec_product(node, i, partials, 'row')};")
         self.indent -= 1
         self.w("}")
-        self.w("return totals;")
+        self.w("return groups;" if self.groupby else "return totals;")
 
     def _emit_root_trie(self, node: NodePlan, views: list[str]) -> None:
         ns = self.plan.num_aggregates
-        self.w("std::array<double, NS> totals{};")
+        if self.groupby:
+            self.w("Groups groups;")
+        else:
+            self.w("std::array<double, NS> totals{};")
         self.w(f"const auto& rows = data_{node.relation};")
         self.w("size_t n = rows.size();")
         self.w("size_t cursor0 = 0;")
         self._emit_trie_level(node, views, 0, "0", "n")
-        self.w("return totals;")
+        self.w("return groups;" if self.groupby else "return totals;")
 
     def _emit_trie_level(
         self, node: NodePlan, views: list[str], level: int, lo: str, hi: str
@@ -396,10 +424,13 @@ class _CppGen:
             self.w(f"for (size_t j = {i}; j < end{level}; ++j) {{")
             self.indent += 1
             self.w("const auto& row = rows[j];")
+            if self.groupby:
+                self.w(f"Payload& gacc = groups[row.{self.plan.group_attr}];")
             for a in range(ns):
                 owned = node.owned_per_spec[a]
                 factors = ["(double)row.mult"] + [f"row.{attr}" for attr in owned] + [f"p{level}[{a}]"]
-                self.w(f"totals[{a}] += {' * '.join(factors)};")
+                target = f"gacc[{a}]" if self.groupby else f"totals[{a}]"
+                self.w(f"{target} += {' * '.join(factors)};")
             self.indent -= 1
             self.w("}")
         self.w(f"{i} = end{level};")
@@ -419,7 +450,10 @@ class _CppGen:
         self.w("fclose(f);")
         args = ", ".join(f"data_{n.relation}" for n in self.plan.root.walk())
         self.w("auto t0 = std::chrono::steady_clock::now();")
-        self.w("std::array<double, NS> result{};")
+        if self.groupby:
+            self.w("Groups result;")
+        else:
+            self.w("std::array<double, NS> result{};")
         self.w(f"for (int rep = 0; rep < {self.repetitions}; ++rep) {{")
         self.w(f"    result = kernel({args});")
         self.w("}")
@@ -428,7 +462,17 @@ class _CppGen:
             "long long ns = std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count();"
         )
         self.w(f'printf("%lld\\n", ns / {self.repetitions});')
-        self.w("for (int a = 0; a < NS; ++a) printf(\"%.17g\\n\", result[a]);")
+        if self.groupby:
+            # One line per group: key then the NS aggregate values.
+            key_fmt = "%lld" if self._group_is_key() else "%.17g"
+            key_arg = "(long long)kv.first" if self._group_is_key() else "kv.first"
+            self.w("for (const auto& kv : result) {")
+            self.w(f'    printf("{key_fmt}", {key_arg});')
+            self.w('    for (int a = 0; a < NS; ++a) printf(" %.17g", kv.second[a]);')
+            self.w('    printf("\\n");')
+            self.w("}")
+        else:
+            self.w("for (int a = 0; a < NS; ++a) printf(\"%.17g\\n\", result[a]);")
         self.w("return 0;")
         self.indent -= 1
         self.w("}")

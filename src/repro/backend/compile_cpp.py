@@ -37,8 +37,14 @@ class CompiledKernel:
     #: True when the binary came from the content-hash cache (no g++ run)
     cached: bool = False
 
-    def run(self, data_path: str | Path) -> tuple[float, list[float]]:
-        """Execute the kernel; returns (elapsed seconds, aggregate values)."""
+    def run_lines(self, data_path: str | Path) -> tuple[float, list[str]]:
+        """Execute the kernel; returns (elapsed seconds, raw output lines).
+
+        The first output line is always the elapsed nanoseconds; the
+        remaining lines are kernel-shaped (one value per line for
+        scalar batches, ``key v0 … vN`` per line for group-by kernels)
+        and are parsed by the caller.
+        """
         proc = subprocess.run(
             [str(self.binary_path), str(data_path)],
             capture_output=True,
@@ -50,9 +56,12 @@ class CompiledKernel:
                 f"kernel run failed (exit {proc.returncode}): {proc.stderr}"
             )
         lines = proc.stdout.strip().splitlines()
-        elapsed_ns = int(lines[0])
-        values = [float(x) for x in lines[1:]]
-        return elapsed_ns / 1e9, values
+        return int(lines[0]) / 1e9, lines[1:]
+
+    def run(self, data_path: str | Path) -> tuple[float, list[float]]:
+        """Execute the kernel; returns (elapsed seconds, aggregate values)."""
+        elapsed, lines = self.run_lines(data_path)
+        return elapsed, [float(x) for x in lines]
 
 
 def compile_kernel(

@@ -13,11 +13,25 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.aggregates.engine import compute_batch_mode
+from repro.aggregates.engine import (
+    apply_predicates,
+    compute_batch_mode,
+    compute_groupby_tree,
+)
 from repro.aggregates.join_tree import JoinTreeNode
-from repro.backend.base import ExecutionBackend, Kernel, merge_vectors
-from repro.backend.codegen_cpp import generate_cpp_kernel, write_binary_data
-from repro.backend.codegen_python import generate_python_kernel
+from repro.backend.base import (
+    ExecutionBackend,
+    Kernel,
+    merge_vectors,
+    require_groupby,
+    require_plain,
+)
+from repro.backend.codegen_cpp import (
+    generate_cpp_kernel,
+    group_attr_is_key,
+    write_binary_data,
+)
+from repro.backend.codegen_python import GeneratedKernel, generate_python_kernel
 from repro.backend.compile_cpp import compile_kernel
 from repro.backend.layout import LayoutOptions
 from repro.backend.plan import BatchPlan, prepare_data
@@ -72,8 +86,17 @@ class EngineBackend(ExecutionBackend):
         )
 
     def execute(self, kernel: Kernel, db: Database) -> dict[str, float]:
+        require_plain(kernel)
         return compute_batch_mode(
             db, kernel.entry, kernel.plan.batch, self.aggregate_mode, query=self.query
+        )
+
+    def run_groupby(self, kernel: Kernel, db: Database, predicates=None) -> dict:
+        require_groupby(kernel)
+        # The kernel's tree is already rooted at the group attribute's
+        # owner (planning rerooted it), so this is a straight scan.
+        return compute_groupby_tree(
+            db, kernel.entry, kernel.plan.batch, kernel.plan.group_attr, predicates
         )
 
 
@@ -94,16 +117,31 @@ class PythonKernelBackend(ExecutionBackend):
     name = "python"
 
     def compile_plan(self, plan: BatchPlan, layout: LayoutOptions) -> Kernel:
-        generated = generate_python_kernel(plan, layout)
-        namespace = generated.compile_module()
+        from repro.backend.cache import load_kernel_source, store_kernel_source
+
+        fingerprint = plan.fingerprint(layout, self.kernel_key)
+        source = load_kernel_source(fingerprint)
+        warm = source is not None
+        if warm:
+            try:
+                namespace = GeneratedKernel(source=source).compile_module()
+            except Exception:
+                warm = False  # corrupt spill: fall through and regenerate
+        if not warm:
+            source = generate_python_kernel(plan, layout).source
+            try:
+                store_kernel_source(fingerprint, source)
+            except OSError:
+                pass  # read-only temp dir: persistence is best-effort
+            namespace = GeneratedKernel(source=source).compile_module()
         return Kernel(
             backend=self.name,
-            fingerprint=plan.fingerprint(layout, self.kernel_key),
+            fingerprint=fingerprint,
             plan=plan,
             layout=layout,
-            source=generated.source,
+            source=source,
             entry=namespace,
-            meta={"supports_blocks": True},
+            meta={"supports_blocks": not plan.is_groupby, "source_cached": warm},
         )
 
     # -- block protocol (consumed by ShardedBackend) ---------------------
@@ -127,6 +165,7 @@ class PythonKernelBackend(ExecutionBackend):
     # -- single-shot execution -------------------------------------------
 
     def execute(self, kernel: Kernel, db: Database) -> dict[str, float]:
+        require_plain(kernel)
         data, views, n_rows = self.prepare(kernel, db)
         if n_rows == 0:
             return kernel.result_dict([0.0] * kernel.plan.num_aggregates)
@@ -135,6 +174,16 @@ class PythonKernelBackend(ExecutionBackend):
             for lo, hi in self.block_ranges(n_rows)
         ]
         return kernel.result_dict(merge_vectors(partials))
+
+    def run_groupby(self, kernel: Kernel, db: Database, predicates=None) -> dict:
+        require_groupby(kernel)
+        # δ conditions are per-relation and record-local, so filtering
+        # the input relations is equivalent to predicates in the scans
+        # (and keeps the generated kernel predicate-free and cacheable).
+        db = apply_predicates(db, predicates)
+        data = prepare_data(db, kernel.plan, kernel.layout)
+        views = kernel.entry["build_views"](data)
+        return kernel.entry["scan_root"](data, views)
 
 
 @dataclass
@@ -160,12 +209,32 @@ class CppKernelBackend(ExecutionBackend):
             source=generated.source,
             entry=compiled,
             compile_seconds=compiled.compile_seconds,
-            meta={"binary_cached": compiled.cached},
+            meta={
+                "binary_cached": compiled.cached,
+                "group_is_key": plan.is_groupby and group_attr_is_key(plan),
+            },
         )
 
     def execute(self, kernel: Kernel, db: Database) -> dict[str, float]:
+        require_plain(kernel)
         with tempfile.TemporaryDirectory() as tmp:
             data_path = Path(tmp) / "data.bin"
             write_binary_data(db, kernel.plan, data_path, kernel.layout)
             _, values = kernel.entry.run(data_path)
         return kernel.result_dict(values)
+
+    def run_groupby(self, kernel: Kernel, db: Database, predicates=None) -> dict:
+        require_groupby(kernel)
+        db = apply_predicates(db, predicates)
+        with tempfile.TemporaryDirectory() as tmp:
+            data_path = Path(tmp) / "data.bin"
+            write_binary_data(db, kernel.plan, data_path, kernel.layout)
+            _, lines = kernel.entry.run_lines(data_path)
+        # Key columns travel as int64; everything else as double.
+        group_is_key = kernel.meta.get("group_is_key", False)
+        key_of = int if group_is_key else float
+        groups: dict = {}
+        for line in lines:
+            parts = line.split()
+            groups[key_of(parts[0])] = [float(v) for v in parts[1:]]
+        return groups

@@ -33,7 +33,13 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-from repro.backend.base import ExecutionBackend, Kernel, merge_results, merge_vectors
+from repro.backend.base import (
+    ExecutionBackend,
+    Kernel,
+    merge_group_results,
+    merge_results,
+    merge_vectors,
+)
 from repro.backend.layout import LayoutOptions
 from repro.backend.plan import BatchPlan
 from repro.db.database import Database
@@ -113,6 +119,32 @@ class ShardedBackend(ExecutionBackend):
         if self._supports_blocks(kernel):
             return self._execute_blocks(kernel, db)
         return self._execute_subdatabases(kernel, db)
+
+    def run_groupby(self, kernel: Kernel, db: Database, predicates=None) -> dict:
+        """Group-by over K shards of the plan's root relation.
+
+        The group-by root is the owner of the grouping attribute, so
+        each shard contributes the groups its root rows produce; shard
+        partials merge per group value with ``v_add`` in shard order.
+        """
+        shard_dbs = shard_database(db, kernel.plan.root.relation, self.shards)
+        if not shard_dbs:
+            self.last_shard_seconds = []
+            return {}
+
+        def run_shard(shard_db):
+            started = time.perf_counter()
+            result = self.inner.run_groupby(kernel, shard_db, predicates)
+            return result, time.perf_counter() - started
+
+        if len(shard_dbs) == 1:
+            shard_outputs = [run_shard(shard_dbs[0])]
+        else:
+            with ThreadPoolExecutor(max_workers=len(shard_dbs)) as pool:
+                shard_outputs = list(pool.map(run_shard, shard_dbs))
+
+        self.last_shard_seconds = [seconds for _, seconds in shard_outputs]
+        return merge_group_results([result for result, _ in shard_outputs])
 
     # -- block path (bit-identical to single-shot) -----------------------
 

@@ -45,14 +45,30 @@ class NodePlan:
 
 @dataclass
 class BatchPlan:
-    """A complete physical plan for one aggregate batch."""
+    """A complete physical plan for one aggregate batch.
+
+    When ``group_attr`` is set the plan is a *group-by* plan: the root
+    is the relation owning the grouping attribute (the tree is rerooted
+    during planning), the grouping column is part of the root's column
+    order, and kernels compiled from the plan produce one aggregate
+    vector per group value instead of a single vector.  Group-by plans
+    are first-class cacheable kernels: the tree learner's per-node
+    batches share one fingerprint per feature, so every node after the
+    first is a :class:`~repro.backend.cache.KernelCache` hit.
+    """
 
     root: NodePlan
     batch: AggregateBatch
+    #: grouping attribute (``None`` for plain scalar batches)
+    group_attr: str | None = None
 
     @property
     def num_aggregates(self) -> int:
         return len(self.batch.specs)
+
+    @property
+    def is_groupby(self) -> bool:
+        return self.group_attr is not None
 
     def fingerprint(self, layout=None, backend: str = "") -> str:
         """A stable identity for kernel caching.
@@ -66,6 +82,8 @@ class BatchPlan:
         execution and across repeated compilations.
         """
         parts: list[str] = [backend]
+        if self.group_attr is not None:
+            parts.append(f"groupby={self.group_attr}")
         if layout is not None:
             parts.append(
                 ",".join(f"{f.name}={getattr(layout, f.name)}" for f in fields(layout))
@@ -88,7 +106,12 @@ class BatchPlan:
         return digest[:16]
 
 
-def build_batch_plan(db: Database, tree: JoinTreeNode, batch: AggregateBatch) -> BatchPlan:
+def build_batch_plan(
+    db: Database,
+    tree: JoinTreeNode,
+    batch: AggregateBatch,
+    group_attr: str | None = None,
+) -> BatchPlan:
     """Derive the physical plan from a join tree and a batch.
 
     Children are ordered by ascending distinct-key count in the parent,
@@ -96,7 +119,17 @@ def build_batch_plan(db: Database, tree: JoinTreeNode, batch: AggregateBatch) ->
     trie levels amortize child-view lookups and per-aggregate partial
     products over the largest groups (the factorization the
     dictionary-to-trie pass exists for).
+
+    With ``group_attr`` the tree is rerooted at the attribute's owning
+    relation (the LMFAO multi-root trick) and the grouping column joins
+    the root's column order, producing a group-by plan.
     """
+    if group_attr is not None:
+        from repro.aggregates.join_tree import reroot
+
+        owner = assign_attribute_owners(tree, db, [group_attr])[group_attr]
+        if tree.relation != owner:
+            tree = reroot(tree, owner, db.schema())
     owners = assign_attribute_owners(tree, db, batch.all_attributes())
 
     def distinct_keys(parent: JoinTreeNode, child: JoinTreeNode) -> int:
@@ -105,7 +138,7 @@ def build_batch_plan(db: Database, tree: JoinTreeNode, batch: AggregateBatch) ->
             tuple(rec[a] for a in child.join_attrs) for rec in rel.data
         })
 
-    def build(node: JoinTreeNode) -> NodePlan:
+    def build(node: JoinTreeNode, is_root: bool = False) -> NodePlan:
         ordered = sorted(node.children, key=lambda c: distinct_keys(node, c))
         node = JoinTreeNode(node.relation, node.join_attrs, ordered)
         children = [build(c) for c in node.children]
@@ -119,6 +152,8 @@ def build_batch_plan(db: Database, tree: JoinTreeNode, batch: AggregateBatch) ->
         for attrs in owned:
             for a in attrs:
                 needed.setdefault(a, None)
+        if is_root and group_attr is not None:
+            needed.setdefault(group_attr, None)
         return NodePlan(
             relation=node.relation,
             parent_key=node.join_attrs,
@@ -128,7 +163,7 @@ def build_batch_plan(db: Database, tree: JoinTreeNode, batch: AggregateBatch) ->
             owned_per_spec=owned,
         )
 
-    return BatchPlan(root=build(tree), batch=batch)
+    return BatchPlan(root=build(tree, is_root=True), batch=batch, group_attr=group_attr)
 
 
 def prepare_arrays(db: Database, plan: BatchPlan) -> dict[str, list[tuple]]:

@@ -115,7 +115,14 @@ def _sharded_factory(**context) -> ExecutionBackend:
     )
 
 
+def _numpy_factory(**context) -> ExecutionBackend:
+    from repro.backend.numpy_backend import NumpyBackend
+
+    return NumpyBackend()
+
+
 register_backend("engine", _engine_factory)
 register_backend("python", _python_factory)
 register_backend("cpp", _cpp_factory)
 register_backend("sharded", _sharded_factory)
+register_backend("numpy", _numpy_factory)

@@ -17,8 +17,8 @@ inspect intermediate programs.
 Execution is delegated to a pluggable
 :class:`~repro.backend.base.ExecutionBackend` resolved once through
 :mod:`repro.backend.registry` — ``backend`` accepts a registered name
-(``"engine"``, ``"python"``, ``"cpp"``, ``"sharded"``) or a ready
-instance (e.g. ``ShardedBackend(inner="cpp", shards=8)``).  The kernel
+(``"engine"``, ``"python"``, ``"cpp"``, ``"numpy"``, ``"sharded"``) or
+a ready instance (e.g. ``ShardedBackend(inner="cpp", shards=8)``).  The kernel
 built during :meth:`IFAQCompiler.compile` is stored on the artifacts
 and is the kernel executed; repeated compilations of the same program
 and layout hit the :class:`~repro.backend.cache.KernelCache`.
@@ -49,7 +49,7 @@ from repro.typing.typecheck import typecheck_program
 
 AggregateMode = Literal["materialized", "pushdown", "merged", "trie"]
 #: kept for backwards compatibility; any registered name now works
-Backend = Literal["engine", "python", "cpp", "sharded"]
+Backend = Literal["engine", "python", "cpp", "numpy", "sharded"]
 
 
 @dataclass
@@ -85,7 +85,8 @@ class IFAQCompiler:
         A registered backend name — ``engine`` interprets the view
         tree, ``python`` executes a generated specialized kernel,
         ``cpp`` compiles the generated C++ with g++ (resolving to the
-        Python backend when no toolchain is available), ``sharded``
+        Python backend when no toolchain is available), ``numpy``
+        lowers the plan to columnar ndarray operations, ``sharded``
         wraps an inner backend over K root shards — or any
         :class:`ExecutionBackend` instance.
     layout

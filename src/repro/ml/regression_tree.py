@@ -10,6 +10,12 @@ conditions δ and cannot be hoisted; instead, every tree node issues one
 Σy²)`` — computed factorized over the join with the node's δ conditions
 pushed into the scans of their owning relations.  Prefix sums over the
 sorted groups then score every threshold of that feature in one pass.
+
+Execution resolves through the backend registry exactly like the
+compiler driver: the per-feature group-by plans compile once into
+cached kernels, and every subsequent tree node is a
+:class:`~repro.backend.cache.KernelCache` hit with only the δ
+predicates changing at execution time.
 """
 
 from __future__ import annotations
@@ -20,6 +26,9 @@ from typing import Any, Mapping, Sequence
 from repro.aggregates.batch import variance_batch
 from repro.aggregates.engine import Predicates, compute_groupby
 from repro.aggregates.join_tree import JoinTreeNode, build_join_tree
+from repro.backend.cache import KernelCache
+from repro.backend.plan import build_batch_plan
+from repro.backend.registry import get_backend
 from repro.db.database import Database
 from repro.db.query import JoinQuery
 
@@ -39,6 +48,11 @@ class Condition:
         if self.op == ">":
             return value > self.threshold
         raise ValueError(f"unknown condition operator {self.op!r}")
+
+    # Conditions are used directly as per-relation predicates, so
+    # structure-aware backends (numpy) can evaluate them vectorized
+    # while the interpreted engine just calls them per record.
+    __call__ = holds
 
     def __repr__(self) -> str:
         return f"x.{self.feature} {self.op} {self.threshold:g}"
@@ -103,9 +117,11 @@ class IFAQRegressionTree:
     ``method`` selects the execution engine for the per-node group-by
     batches: ``"vectorized"`` (default) is the compiled-kernel analog —
     numpy bincounts over per-relation arrays with fact-aligned key codes
-    (see :mod:`repro.ml.tree_engine`) — while ``"interpreted"`` runs the
-    Section 4.3 view-tree engine tuple at a time.  Both produce the
-    same tree.
+    (see :mod:`repro.ml.tree_engine`) — while ``"interpreted"`` issues
+    one group-by batch per feature per node through the backend
+    registry (``backend`` picks the executor, default ``"engine"``);
+    the per-feature kernels compile once and every later node is a
+    kernel-cache hit.  Both methods produce the same tree.
     """
 
     features: Sequence[str]
@@ -115,22 +131,45 @@ class IFAQRegressionTree:
     min_improvement: float = 1e-12
     max_thresholds: int | None = None
     method: str = "vectorized"
+    #: backend name/instance for the group-by batches (``None``: the
+    #: method's default — "numpy" vectorized, "engine" interpreted)
+    backend: Any = None
+    kernel_cache: KernelCache | None = None
 
     root_: TreeNode | None = None
     #: attribute → owning relation, fixed at fit time
     _owners: dict[str, str] = field(default_factory=dict)
+    _groupby_plans: dict[str, Any] = field(default_factory=dict, repr=False)
+    _backend_impl: Any = field(default=None, repr=False)
 
     def fit(self, db: Database, query: JoinQuery) -> "IFAQRegressionTree":
         if self.method == "vectorized":
             from repro.ml.tree_engine import VectorizedTreeEngine
 
-            engine = VectorizedTreeEngine(db, query, self.features, self.label)
+            engine = VectorizedTreeEngine(
+                db,
+                query,
+                self.features,
+                self.label,
+                backend=self.backend if self.backend is not None else "numpy",
+                kernel_cache=self.kernel_cache,
+            )
             self.root_ = self._build_node_vectorized(engine, engine.full_mask(), depth=1)
         elif self.method == "interpreted":
             tree = build_join_tree(
                 db.schema(), query.relations, stats=dict(db.statistics())
             )
             self._owners = _attribute_owners(db, tree, list(self.features))
+            self._backend_impl = get_backend(
+                self.backend if self.backend is not None else "engine"
+            )
+            # One group-by plan per feature, planned once: every tree
+            # node below reuses the compiled kernel through the cache.
+            batch = variance_batch(self.label)
+            self._groupby_plans = {
+                f: build_batch_plan(db, tree, batch, group_attr=f)
+                for f in self.features
+            }
             self.root_ = self._build_node(db, tree, conditions=[], depth=1)
         else:
             raise ValueError(f"unknown tree method {self.method!r}")
@@ -232,9 +271,9 @@ class IFAQRegressionTree:
         by_relation: dict[str, list] = {}
         for cond in conditions:
             owner = self._owners[cond.feature]
-            by_relation.setdefault(owner, []).append(
-                lambda rec, c=cond: c.holds(rec)
-            )
+            # Conditions are callable predicates; passing them unwrapped
+            # lets the numpy backend evaluate them vectorized.
+            by_relation.setdefault(owner, []).append(cond)
         return by_relation
 
     def _build_node(
@@ -251,7 +290,16 @@ class IFAQRegressionTree:
         node_count = node_sum = node_sum_sq = None
 
         for feature in self.features:
-            groups = compute_groupby(db, tree, batch, feature, predicates)
+            groups = compute_groupby(
+                db,
+                tree,
+                batch,
+                feature,
+                predicates,
+                backend=self._backend_impl,
+                kernel_cache=self.kernel_cache,
+                plan=self._groupby_plans.get(feature),
+            )
             if not groups:
                 return None
             stats = sorted(groups.items())

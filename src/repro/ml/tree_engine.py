@@ -3,25 +3,26 @@
 The paper's regression trees run as generated C++ over the factorized
 join (Section 5: "for regression trees ... they still benefit from the
 lower level optimizations").  The Python analog of that compiled kernel
-is this engine: all per-node work is numpy over *per-relation* arrays —
-the join is never materialized.
+is the ``"numpy"`` execution backend; this engine is a thin CART-shaped
+shim over it.
 
-Layout, built once per ``fit``:
+The heavy machinery — per-relation column arrays, join-key coding, and
+the **fact-aligned row index** (for fact row ``i``, the joining row of
+every relation, composed by chaining foreign-key lookups down the join
+tree; the snowflake ``Census`` hop goes through ``Location``) — lives
+in :class:`repro.backend.numpy_backend.PreparedLayout`.  The engine is
+resolved through the backend registry and its variance-batch kernel
+through the :class:`~repro.backend.cache.KernelCache`, exactly like the
+compiler driver resolves batch kernels, so repeated fits over the same
+database reuse both the kernel and the prepared layout.
 
-* each relation keeps its attribute columns as arrays over its own rows;
-* every relation gets a **fact-aligned row index**: for fact row ``i``,
-  ``row_index[rel][i]`` is the joining row of ``rel`` (computed by
-  composing foreign-key lookups down the join tree — the snowflake
-  ``Census`` hop goes through ``Location``);
-* each feature is coded against the sorted distinct values of its
-  owning relation's column, so a group-by is one ``np.bincount`` over
-  fact-aligned codes.
-
-Per tree node: the δ conditions evaluate on the (tiny) per-relation
-value arrays and broadcast to a fact mask through the codes; each
-feature's (count, Σy, Σy²) group-by is three bincounts.  The numbers
-are bit-identical to :func:`repro.aggregates.engine.compute_groupby`
-(tests pin this), so the learned trees match the interpreted engine's.
+What stays here is the CART-specific view: each feature coded against
+the sorted distinct values of its fact-aligned column, so a per-node
+group-by is three ``np.bincount`` calls over the codes, and δ
+conditions broadcast to fact masks through the codes.  The numbers are
+bit-identical to :func:`repro.aggregates.engine.compute_groupby` on
+exact domains (tests pin this), so the learned trees match the
+interpreted engine's.
 """
 
 from __future__ import annotations
@@ -31,8 +32,13 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.aggregates.batch import variance_batch
 from repro.aggregates.engine import assign_attribute_owners
-from repro.aggregates.join_tree import JoinTreeNode, build_join_tree
+from repro.aggregates.join_tree import build_join_tree
+from repro.backend.cache import KernelCache, default_kernel_cache
+from repro.backend.layout import LAYOUT_SORTED
+from repro.backend.plan import build_batch_plan
+from repro.backend.registry import get_backend
 from repro.db.database import Database
 from repro.db.query import JoinQuery
 
@@ -46,7 +52,13 @@ class _FeatureIndex:
 
 
 class VectorizedTreeEngine:
-    """Factorized group-by aggregates for CART, vectorized with numpy."""
+    """Factorized group-by aggregates for CART, vectorized with numpy.
+
+    ``backend`` names (or is) an execution backend exposing the
+    columnar ``prepared_layout`` protocol — the registered ``"numpy"``
+    backend; ``kernel_cache`` defaults to the process-wide cache, so
+    repeated fits are kernel-cache hits.
+    """
 
     def __init__(
         self,
@@ -54,21 +66,35 @@ class VectorizedTreeEngine:
         query: JoinQuery,
         features: Sequence[str],
         label: str,
+        backend: Any = "numpy",
+        kernel_cache: KernelCache | None = None,
     ):
+        resolved = get_backend(backend)
+        if not hasattr(resolved, "prepared_layout"):
+            raise TypeError(
+                f"the vectorized tree engine needs a backend with a columnar "
+                f"prepared layout (e.g. 'numpy'); got {resolved.name!r}"
+            )
         tree = build_join_tree(db.schema(), query.relations, stats=dict(db.statistics()))
         self.features = list(features)
         self.label = label
         owners = assign_attribute_owners(tree, db, self.features + [label])
 
-        rows, weights, columns = self._load_columns(db, tree)
-        row_index = self._fact_row_indices(db, tree, rows, columns)
-
-        self.weights = weights
-        self.n_facts = len(weights)
+        plan = build_batch_plan(db, tree, variance_batch(label))
+        cache = kernel_cache if kernel_cache is not None else default_kernel_cache()
+        self.kernel = cache.get_or_compile(resolved, plan, LAYOUT_SORTED)
+        self.layout = resolved.prepared_layout(self.kernel, db)
+        # Fact alignment requires every fact row to join exactly one
+        # tuple per relation; validate the whole tree eagerly (not just
+        # feature owners) so danglers raise instead of skewing masks.
+        for node in plan.root.walk():
+            self.layout.fact_index(node.relation)
 
         def fact_column(attr: str) -> np.ndarray:
-            rel = owners[attr]
-            return columns[rel][attr][row_index[rel]]
+            return self.layout.fact_column(owners[attr], attr)
+
+        self.weights = self.layout.root.mult
+        self.n_facts = len(self.weights)
 
         self.y = fact_column(label).astype(float)
         self.y_sq = self.y * self.y
@@ -80,59 +106,6 @@ class VectorizedTreeEngine:
             col = fact_column(f)
             values, codes = np.unique(col, return_inverse=True)
             self.index[f] = _FeatureIndex(values=values, codes=codes)
-
-    # -- construction helpers ---------------------------------------------
-
-    @staticmethod
-    def _load_columns(db: Database, tree: JoinTreeNode):
-        """Per-relation row lists, fact weights, and column arrays."""
-        rows: dict[str, list] = {}
-        columns: dict[str, dict[str, np.ndarray]] = {}
-        weights = None
-        for node in tree.walk():
-            rel = db.relation(node.relation)
-            rel_rows = list(rel.data.items())
-            rows[node.relation] = rel_rows
-            attr_names = rel.schema.attribute_names()
-            columns[node.relation] = {
-                a: np.array([rec[a] for rec, _ in rel_rows]) for a in attr_names
-            }
-            if node is tree:
-                weights = np.array([m for _, m in rel_rows], dtype=float)
-        return rows, weights, columns
-
-    @staticmethod
-    def _fact_row_indices(db, tree: JoinTreeNode, rows, columns):
-        """Fact-aligned joining-row index for every relation in the tree."""
-        root_rows = rows[tree.relation]
-        n = len(root_rows)
-        row_index: dict[str, np.ndarray] = {
-            tree.relation: np.arange(n, dtype=np.int64)
-        }
-
-        def resolve(node: JoinTreeNode, parent: str) -> None:
-            key_attrs = node.join_attrs
-            lookup = {}
-            for i, (rec, _) in enumerate(rows[node.relation]):
-                lookup[tuple(rec[a] for a in key_attrs)] = i
-            parent_cols = columns[parent]
-            parent_to_child = np.empty(len(rows[parent]), dtype=np.int64)
-            for i in range(len(rows[parent])):
-                key = tuple(parent_cols[a][i] for a in key_attrs)
-                parent_to_child[i] = lookup.get(key, -1)
-            fact_parent = row_index[parent]
-            fact_child = parent_to_child[fact_parent]
-            if np.any(fact_child < 0):
-                raise ValueError(
-                    f"dangling foreign keys: fact rows join no {node.relation} tuple"
-                )
-            row_index[node.relation] = fact_child
-            for child in node.children:
-                resolve(child, node.relation)
-
-        for child in tree.children:
-            resolve(child, tree.relation)
-        return row_index
 
     # -- per-node operations --------------------------------------------------
 

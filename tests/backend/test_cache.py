@@ -1,4 +1,5 @@
-"""Kernel cache: fingerprints, hit/miss accounting, compile-once identity."""
+"""Kernel cache: fingerprints, hit/miss accounting, compile-once identity,
+cross-process source persistence."""
 
 import math
 
@@ -8,6 +9,9 @@ from repro.backend import (
     KernelCache,
     PythonKernelBackend,
     build_batch_plan,
+    clear_kernel_sources,
+    kernel_source_dir,
+    load_kernel_source,
 )
 from repro.backend.layout import LAYOUT_ARRAYS, LAYOUT_SORTED
 from repro.compiler import IFAQCompiler
@@ -92,6 +96,59 @@ class TestKernelCache:
         cache.clear()
         assert len(cache) == 0
         assert cache.stats.misses == 0
+
+
+class TestSourcePersistence:
+    """Generated Python sources spill to disk keyed by fingerprint, so a
+    fresh process (fresh KernelCache) skips codegen on warm starts."""
+
+    def _compile(self, db, query):
+        backend = PythonKernelBackend()
+        return backend.compile_plan(make_plan(db, query), LAYOUT_SORTED)
+
+    def test_cold_then_warm(self, int_star_db, int_star_query, monkeypatch, tmp_path):
+        monkeypatch.setenv("IFAQ_KERNEL_CACHE_DIR", str(tmp_path))
+        cold = self._compile(int_star_db, int_star_query)
+        assert cold.meta["source_cached"] is False
+        assert load_kernel_source(cold.fingerprint) == cold.source
+        # A second compile (new backend, no in-memory cache) is warm.
+        warm = self._compile(int_star_db, int_star_query)
+        assert warm.meta["source_cached"] is True
+        assert warm.source == cold.source
+
+    def test_warm_kernel_executes_identically(
+        self, int_star_db, int_star_query, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("IFAQ_KERNEL_CACHE_DIR", str(tmp_path))
+        cold = self._compile(int_star_db, int_star_query)
+        warm = self._compile(int_star_db, int_star_query)
+        backend = PythonKernelBackend()
+        assert backend.execute(cold, int_star_db) == backend.execute(warm, int_star_db)
+
+    def test_clear_removes_spilled_sources(
+        self, int_star_db, int_star_query, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("IFAQ_KERNEL_CACHE_DIR", str(tmp_path))
+        assert kernel_source_dir() == tmp_path
+        kernel = self._compile(int_star_db, int_star_query)
+        assert clear_kernel_sources() >= 1
+        assert load_kernel_source(kernel.fingerprint) is None
+
+    def test_untrusted_default_dir_disables_persistence(
+        self, int_star_db, int_star_query, monkeypatch, tmp_path
+    ):
+        """A default spill dir writable by others is never exec'd from
+        (or written to) — compilation just runs cold."""
+        import tempfile
+
+        monkeypatch.delenv("IFAQ_KERNEL_CACHE_DIR", raising=False)
+        monkeypatch.setattr(tempfile, "gettempdir", lambda: str(tmp_path))
+        kernel = self._compile(int_star_db, int_star_query)  # creates 0700 dir
+        kernel_source_dir().chmod(0o777)
+        assert load_kernel_source(kernel.fingerprint) is None
+        again = self._compile(int_star_db, int_star_query)
+        assert again.meta["source_cached"] is False
+        assert again.source == kernel.source
 
 
 class TestCompilerIntegration:

@@ -19,7 +19,14 @@ from repro.backend.compile_cpp import gxx_available
 
 class TestResolution:
     def test_builtins_registered(self):
-        assert {"engine", "python", "cpp", "sharded"} <= set(available_backends())
+        assert {"engine", "python", "cpp", "sharded", "numpy"} <= set(
+            available_backends()
+        )
+
+    def test_numpy_resolves(self):
+        from repro.backend import NumpyBackend
+
+        assert isinstance(get_backend("numpy"), NumpyBackend)
 
     def test_python_resolves(self):
         backend = get_backend("python")
@@ -53,6 +60,17 @@ class TestResolution:
     def test_unknown_name_raises(self):
         with pytest.raises(BackendResolutionError, match="unknown backend"):
             get_backend("fortran")
+
+    def test_unknown_name_lists_sorted_registered_names(self):
+        """The error names every registered backend, sorted, so a typo'd
+        config is self-diagnosing."""
+        with pytest.raises(BackendResolutionError) as excinfo:
+            get_backend("fortran")
+        message = str(excinfo.value)
+        names = available_backends()
+        assert list(names) == sorted(names)
+        assert ", ".join(names) in message
+        assert "'fortran'" in message
 
     def test_non_string_raises(self):
         with pytest.raises(TypeError):

@@ -73,12 +73,62 @@ class TestAgainstBaseline:
         assert train_rmse(3) <= train_rmse(1) + 1e-12
 
 
+class TestRegistryPath:
+    """Tree training resolves group-by execution through the backend
+    registry; per-node batches are kernel-cache hits after the first."""
+
+    @pytest.mark.parametrize("backend", ["engine", "numpy"])
+    def test_interpreted_backends_learn_identical_trees(self, dataset, backend):
+        ds = dataset
+        vec = IFAQRegressionTree(ds.features, ds.label, max_depth=3).fit(
+            ds.db, ds.query
+        )
+        interp = IFAQRegressionTree(
+            ds.features, ds.label, max_depth=3, method="interpreted", backend=backend
+        ).fit(ds.db, ds.query)
+        assert trees_equal(vec.root_, interp.root_)
+
+    def test_per_node_groupbys_hit_kernel_cache(self, dataset):
+        from repro.backend import KernelCache
+
+        ds = dataset
+        cache = KernelCache()
+        tree = IFAQRegressionTree(
+            ds.features,
+            ds.label,
+            max_depth=3,
+            method="interpreted",
+            backend="numpy",
+            kernel_cache=cache,
+        ).fit(ds.db, ds.query)
+        # One compile per feature; every further tree node reuses it.
+        assert cache.stats.misses == len(ds.features)
+        internal = tree.root_.node_count() - 1
+        assert cache.stats.hits >= internal  # ≥ one hit per extra node visit
+        assert cache.stats.hits > cache.stats.misses
+
+    def test_vectorized_engine_kernel_is_cached(self, dataset):
+        from repro.backend import KernelCache
+
+        ds = dataset
+        cache = KernelCache()
+        for _ in range(2):
+            IFAQRegressionTree(
+                ds.features, ds.label, max_depth=2, kernel_cache=cache
+            ).fit(ds.db, ds.query)
+        assert cache.stats.misses == 1 and cache.stats.hits == 1
+
+
 class TestMechanics:
     def test_condition_semantics(self):
         c = Condition("a", "<=", 1.5)
         assert c.holds({"a": 1.5})
         assert not c.holds({"a": 2.0})
         assert Condition("a", ">", 1.5).holds({"a": 2.0})
+
+    def test_condition_is_callable_predicate(self):
+        c = Condition("a", "<=", 1.5)
+        assert c({"a": 1.0}) and not c({"a": 2.0})
 
     def test_unknown_op_raises(self):
         with pytest.raises(ValueError):

@@ -81,6 +81,29 @@ class TestConditionMask:
             engine.condition_mask(star.features[0], "~", 0.0)
 
 
+class TestDanglingKeys:
+    def test_raises_even_for_featureless_relations(self):
+        """Fact alignment validates every tree relation eagerly: a
+        dangler in a relation hosting no feature still raises instead
+        of silently skewing node masks."""
+        from repro.db import Database, JoinQuery, Relation, RelationSchema
+        from repro.ir.types import INT, REAL
+
+        fact = Relation.from_rows(
+            RelationSchema.of("F", [("k", INT), ("j", INT), ("y", REAL)]),
+            [(0, 0, 1.0), (1, 9, 2.0)],  # j=9 dangles into D2
+        )
+        d1 = Relation.from_rows(
+            RelationSchema.of("D1", [("k", INT), ("a", REAL)]), [(0, 1.0), (1, 2.0)]
+        )
+        d2 = Relation.from_rows(
+            RelationSchema.of("D2", [("j", INT), ("b", REAL)]), [(0, 5.0)]
+        )
+        db = Database.of(fact, d1, d2)
+        with pytest.raises(ValueError, match="dangling"):
+            VectorizedTreeEngine(db, JoinQuery(("F", "D1", "D2")), ["a"], "y")
+
+
 class TestSnowflake:
     def test_census_hop_resolves(self):
         """Retailer's Census is two joins from the fact table."""
