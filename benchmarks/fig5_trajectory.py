@@ -1,0 +1,135 @@
+"""Emit ``BENCH_fig5.json`` — the fig5 tree-fitting perf trajectory.
+
+Fits the paper's depth-4 CART regression tree on the fig5 datasets
+once per execution strategy and records wall-clock timings next to the
+kernel-cache and column-store hit counters, so speedups from layout
+sharing and multi-plan fusion are tracked across commits (CI uploads
+the JSON as an artifact).
+
+Strategies, slowest to fastest:
+
+* ``interpreted-engine``    — per-feature group-by batches on the
+  interpreted view-tree engine;
+* ``interpreted-python``    — the generated-Python group-by kernels;
+* ``interpreted-numpy-unfused`` — the numpy backend, one kernel per
+  feature per node (the PR 2 execution shape);
+* ``interpreted-numpy``     — the numpy backend with the node's F
+  feature batches fused into one MultiBatchPlan kernel;
+* ``vectorized``            — the fact-aligned VectorizedTreeEngine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/fig5_trajectory.py [--out BENCH_fig5.json]
+
+Environment: ``IFAQ_TRAJ_SIZES`` (comma list, default ``small``),
+``IFAQ_TRAJ_BACKENDS`` (comma list of strategy names, default all),
+``IFAQ_BENCH_SCALE`` (dataset scale multiplier, see conftest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import load_dataset
+from repro import __version__
+from repro.backend import KernelCache, column_store_stats, reset_column_store_stats
+from repro.ml import IFAQRegressionTree
+
+DEPTH = 4
+MAX_THRESHOLDS = 64
+
+STRATEGIES = (
+    "interpreted-engine",
+    "interpreted-python",
+    "interpreted-numpy-unfused",
+    "interpreted-numpy",
+    "vectorized",
+)
+
+
+def _model(strategy: str, features, label, cache: KernelCache) -> IFAQRegressionTree:
+    common = dict(
+        max_depth=DEPTH, max_thresholds=MAX_THRESHOLDS, kernel_cache=cache
+    )
+    if strategy == "vectorized":
+        return IFAQRegressionTree(features, label, **common)
+    backend = strategy.removeprefix("interpreted-").removesuffix("-unfused")
+    return IFAQRegressionTree(
+        features,
+        label,
+        method="interpreted",
+        backend=backend,
+        fuse_node_batches=not strategy.endswith("-unfused"),
+        **common,
+    )
+
+
+def run_case(name: str, size: str, strategies) -> dict:
+    ds = load_dataset(name, size)
+    features = list(ds.features)
+    case = {
+        "dataset": name,
+        "size": size,
+        "features": len(features),
+        "root_tuples": ds.db.relation(ds.query.relations[0]).tuple_count(),
+        "fits": {},
+    }
+    for strategy in strategies:
+        cache = KernelCache()
+        reset_column_store_stats()
+        model = _model(strategy, features, ds.label, cache)
+        started = time.perf_counter()
+        model.fit(ds.db, ds.query)
+        seconds = time.perf_counter() - started
+        case["fits"][strategy] = {
+            "seconds": round(seconds, 6),
+            "nodes": model.root_.node_count(),
+            "kernel_cache": cache.stats.as_dict(),
+            "column_store": column_store_stats().as_dict(),
+        }
+        print(f"  {strategy:<28s} {seconds:8.3f}s", flush=True)
+    fused = case["fits"].get("interpreted-numpy", {}).get("seconds")
+    unfused = case["fits"].get("interpreted-numpy-unfused", {}).get("seconds")
+    if fused and unfused:
+        case["numpy_fusion_speedup"] = round(unfused / fused, 3)
+    return case
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_fig5.json")
+    args = parser.parse_args(argv)
+
+    sizes = [
+        s for s in os.environ.get("IFAQ_TRAJ_SIZES", "small").split(",") if s
+    ]
+    strategies = [
+        s for s in os.environ.get("IFAQ_TRAJ_BACKENDS", ",".join(STRATEGIES)).split(",")
+        if s
+    ]
+    report = {
+        "benchmark": "fig5-regression-tree",
+        "version": __version__,
+        "depth": DEPTH,
+        "max_thresholds": MAX_THRESHOLDS,
+        "scale": float(os.environ.get("IFAQ_BENCH_SCALE", "1.0")),
+        "cases": [],
+    }
+    for name in ("favorita", "retailer"):
+        for size in sizes:
+            print(f"{name}/{size}:", flush=True)
+            report["cases"].append(run_case(name, size, strategies))
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -76,8 +76,10 @@ def test_ifaq_tree_groupby_registry(benchmark, name, size):
     emit(f"  nodes={fitted.root_.node_count()} depth={fitted.root_.depth()}")
     emit_kernel_cache(cache.stats, label="group-by kernel cache")
     record_extra_info(benchmark, kernel_cache=cache.stats.as_dict())
-    assert cache.stats.misses == len(features)
-    assert cache.stats.hits > cache.stats.misses
+    # One compile per feature plus the fused node bundle; every later
+    # node visit is a single bundle hit (not one hit per feature).
+    assert cache.stats.misses == len(features) + 1
+    assert cache.stats.hits >= fitted.root_.node_count() - 1
 
 
 @pytest.mark.parametrize("name,size", CASES)

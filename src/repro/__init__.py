@@ -31,18 +31,21 @@ from repro.aggregates import (
     build_join_tree,
     covar_batch,
 )
-from repro.aggregates import compute_groupby
+from repro.aggregates import compute_groupby, compute_groupby_many
 from repro.backend import (
+    ColumnStore,
     CppKernelBackend,
     EngineBackend,
     ExecutionBackend,
     Kernel,
     KernelCache,
     LayoutOptions,
+    MultiBatchPlan,
     NumpyBackend,
     PythonKernelBackend,
     ShardedBackend,
     available_backends,
+    column_store,
     default_kernel_cache,
     get_backend,
     register_backend,
@@ -50,7 +53,7 @@ from repro.backend import (
 from repro.compiler import CompilationArtifacts, IFAQCompiler
 from repro.db import Database, JoinQuery, Relation, RelationSchema
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 #: lazily imported ML entry points (numpy-backed)
 _LAZY_ML = {
@@ -63,13 +66,14 @@ _LAZY_ML = {
 }
 
 __all__ = [
-    "AggregateBatch", "AggregateSpec", "CompilationArtifacts",
+    "AggregateBatch", "AggregateSpec", "ColumnStore", "CompilationArtifacts",
     "CppKernelBackend", "Database", "EngineBackend", "ExecutionBackend",
     "IFAQCompiler", "JoinQuery", "Kernel", "KernelCache", "LayoutOptions",
-    "NumpyBackend", "PythonKernelBackend", "Relation", "RelationSchema",
-    "ShardedBackend", "__version__", "available_backends", "build_join_tree",
-    "compute_groupby", "covar_batch", "default_kernel_cache", "get_backend",
-    "register_backend",
+    "MultiBatchPlan", "NumpyBackend", "PythonKernelBackend", "Relation",
+    "RelationSchema", "ShardedBackend", "__version__", "available_backends",
+    "build_join_tree", "column_store", "compute_groupby",
+    "compute_groupby_many", "covar_batch", "default_kernel_cache",
+    "get_backend", "register_backend",
     *sorted(_LAZY_ML),
 ]
 

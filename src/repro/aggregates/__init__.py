@@ -15,6 +15,7 @@ from repro.aggregates.engine import (
     compute_batch_pushdown,
     compute_batch_trie,
     compute_groupby,
+    compute_groupby_many,
     compute_groupby_tree,
 )
 from repro.aggregates.extract import (
@@ -37,7 +38,7 @@ __all__ = [
     "JoinTreeError", "JoinTreeNode", "apply_predicates", "build_join_tree",
     "compute_batch_materialized", "compute_batch_merged",
     "compute_batch_mode", "compute_batch_pushdown", "compute_batch_trie",
-    "compute_groupby", "compute_groupby_tree",
+    "compute_groupby", "compute_groupby_many", "compute_groupby_tree",
     "covar_batch", "extract_aggregates", "extract_program_aggregates",
     "match_aggregate", "merged_views_expr", "remove_dead_inits", "reroot",
     "variance_batch", "views_per_aggregate_expr",

@@ -456,6 +456,60 @@ def compute_groupby(
     return backend_impl.run_groupby(kernel, db, predicates)
 
 
+def compute_groupby_many(
+    db: Database,
+    tree: JoinTreeNode,
+    batch: AggregateBatch,
+    group_attrs: Sequence[str],
+    predicates: Predicates | None = None,
+    *,
+    backend: Any = "engine",
+    kernel_cache: Any = None,
+    layout: Any = None,
+    plans: Mapping[str, Any] | None = None,
+    multi_plan: Any = None,
+) -> dict[str, dict[Any, list[float]]]:
+    """Fused group-by batches: ``{group_attr: {group value: [values]}}``.
+
+    Submits one group-by batch per attribute in ``group_attrs`` — the
+    same batch, the same δ ``predicates`` — as a single
+    :class:`~repro.backend.plan.MultiBatchPlan` kernel, so backends can
+    share work across members (the numpy backend computes predicate
+    masks once and shares the bottom-up value pass between attributes
+    owned by the same relation).  Results are element-wise identical to
+    calling :func:`compute_groupby` once per attribute.
+
+    ``plans`` maps attributes to prebuilt single plans and ``multi_plan``
+    may be the prebuilt bundle (the tree learner builds both once at fit
+    time); missing pieces are planned here.
+    """
+    from repro.backend.cache import default_kernel_cache
+    from repro.backend.layout import LAYOUT_SORTED
+    from repro.backend.plan import MultiBatchPlan, build_batch_plan
+    from repro.backend.registry import get_backend
+
+    if multi_plan is None:
+        plans = dict(plans) if plans else {}
+        for attr in group_attrs:
+            if attr not in plans:
+                plans[attr] = build_batch_plan(db, tree, batch, group_attr=attr)
+        multi_plan = MultiBatchPlan([plans[attr] for attr in group_attrs])
+    elif multi_plan.group_attr != tuple(group_attrs):
+        # Results are labelled by zipping member order with group_attrs;
+        # a reordered prebuilt bundle must fail loudly, not mislabel.
+        raise ValueError(
+            f"multi_plan member order {multi_plan.group_attr!r} does not "
+            f"match group_attrs {tuple(group_attrs)!r}"
+        )
+    backend_impl = get_backend(backend)
+    cache = kernel_cache if kernel_cache is not None else default_kernel_cache()
+    kernel = cache.get_or_compile(
+        backend_impl, multi_plan, layout if layout is not None else LAYOUT_SORTED
+    )
+    results = backend_impl.run_groupby_many(kernel, db, predicates)
+    return dict(zip(group_attrs, results))
+
+
 def compute_groupby_tree(
     db: Database,
     tree: JoinTreeNode,

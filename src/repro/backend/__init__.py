@@ -2,13 +2,15 @@
 
 Layer map::
 
-    plan.py            physical plans, incl. group-by (+ fingerprints)
+    plan.py            physical plans, incl. group-by + fused multi-plan
+                       bundles (MultiBatchPlan) and their fingerprints
     layout.py          Section 4.4 layout switches
     codegen_python.py  specialized Python kernels (views / root-scan split)
     codegen_cpp.py     specialized C++ kernels
     compile_cpp.py     g++ driver with content-hash binary caching
     base.py            the ExecutionBackend protocol and Kernel artifact
     executors.py       EngineBackend / PythonKernelBackend / CppKernelBackend
+    column_store.py    ColumnStore: shared per-database columnar arrays
     numpy_backend.py   NumpyBackend: columnar ndarray evaluation
     registry.py        name → backend resolution (cpp→python fallback)
     cache.py           KernelCache + on-disk kernel-source persistence
@@ -48,9 +50,22 @@ from repro.backend.layout import (
     LAYOUT_SORTED,
     LayoutOptions,
 )
+from repro.backend.column_store import (
+    ColumnStore,
+    clear_column_stores,
+    column_store,
+    column_store_stats,
+    reset_column_store_stats,
+)
 from repro.backend.numpy_backend import NumpyBackend, PreparedLayout
 from repro.backend.parallel import DEFAULT_SHARDS, ShardedBackend, shard_database
-from repro.backend.plan import BatchPlan, NodePlan, build_batch_plan, prepare_data
+from repro.backend.plan import (
+    BatchPlan,
+    MultiBatchPlan,
+    NodePlan,
+    build_batch_plan,
+    prepare_data,
+)
 from repro.backend.registry import (
     BackendResolutionError,
     available_backends,
@@ -60,15 +75,17 @@ from repro.backend.registry import (
 )
 
 __all__ = [
-    "BackendResolutionError", "BatchPlan", "CacheStats", "CppKernelBackend",
-    "DEFAULT_BLOCK_SIZE", "DEFAULT_SHARDS", "EngineBackend",
-    "ExecutionBackend", "FIGURE_7B_LADDER", "Kernel", "KernelCache",
-    "LAYOUT_ARRAYS", "LAYOUT_BASELINE", "LAYOUT_HASH_TRIE", "LAYOUT_RECORDS",
-    "LAYOUT_SCALARIZED", "LAYOUT_SORTED", "LayoutOptions", "NodePlan",
-    "NumpyBackend", "PreparedLayout", "PythonKernelBackend", "ShardedBackend",
-    "available_backends", "build_batch_plan", "clear_kernel_sources",
-    "default_kernel_cache", "get_backend", "kernel_source_dir",
-    "load_kernel_source", "merge_group_results", "merge_results",
-    "merge_vectors", "prepare_data", "register_backend", "shard_database",
+    "BackendResolutionError", "BatchPlan", "CacheStats", "ColumnStore",
+    "CppKernelBackend", "DEFAULT_BLOCK_SIZE", "DEFAULT_SHARDS",
+    "EngineBackend", "ExecutionBackend", "FIGURE_7B_LADDER", "Kernel",
+    "KernelCache", "LAYOUT_ARRAYS", "LAYOUT_BASELINE", "LAYOUT_HASH_TRIE",
+    "LAYOUT_RECORDS", "LAYOUT_SCALARIZED", "LAYOUT_SORTED", "LayoutOptions",
+    "MultiBatchPlan", "NodePlan", "NumpyBackend", "PreparedLayout",
+    "PythonKernelBackend", "ShardedBackend", "available_backends",
+    "build_batch_plan", "clear_column_stores", "clear_kernel_sources",
+    "column_store", "column_store_stats", "default_kernel_cache",
+    "get_backend", "kernel_source_dir", "load_kernel_source",
+    "merge_group_results", "merge_results", "merge_vectors", "prepare_data",
+    "register_backend", "reset_column_store_stats", "shard_database",
     "store_kernel_source", "tree_from_plan", "unregister_backend",
 ]

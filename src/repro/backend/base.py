@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.backend.layout import LayoutOptions
-from repro.backend.plan import BatchPlan
+from repro.backend.plan import BatchPlan, MultiBatchPlan
 from repro.db.database import Database
 from repro.runtime.rings import v_add
 
@@ -37,14 +37,16 @@ class Kernel:
 
     ``entry`` is backend-specific: the generated-Python module
     namespace, a :class:`~repro.backend.compile_cpp.CompiledKernel`
-    handle, or the engine's reconstructed join tree.  ``source`` is the
+    handle, or the engine's reconstructed join tree.  For multi-plan
+    kernels (``plan`` is a :class:`MultiBatchPlan`) ``entry`` is the
+    list of member kernels, in member order.  ``source`` is the
     generated source text when the backend generates code (``None`` for
     interpreting backends).
     """
 
     backend: str
     fingerprint: str
-    plan: BatchPlan
+    plan: BatchPlan | MultiBatchPlan
     layout: LayoutOptions
     source: str | None = None
     entry: Any = None
@@ -92,6 +94,41 @@ class ExecutionBackend(ABC):
             f"backend {self.name!r} does not support group-by plans"
         )
 
+    # -- fused multi-plan group-by ----------------------------------------
+
+    def compile_multi(
+        self, mplan: MultiBatchPlan, layout: LayoutOptions, members: list[Kernel]
+    ) -> Kernel:
+        """Bundle precompiled member kernels into one multi-plan kernel.
+
+        ``members`` come from the kernel cache (one per member plan, in
+        member order), so a feature whose single-plan kernel was already
+        compiled is not compiled again.  Backends with a genuinely fused
+        execution override this to attach their sharing metadata; the
+        default bundle simply executes members one by one.
+        """
+        return Kernel(
+            backend=self.name,
+            fingerprint=mplan.fingerprint(layout, self.kernel_key),
+            plan=mplan,
+            layout=layout,
+            entry=list(members),
+            meta={"multi": True},
+        )
+
+    def run_groupby_many(
+        self, kernel: Kernel, db: Database, predicates=None
+    ) -> list[dict]:
+        """Run a multi-plan kernel: one group dictionary per member plan.
+
+        The default runs each member kernel through :meth:`run_groupby`
+        — correct for every backend (and exactly equivalent to issuing
+        the plans separately).  Backends that can share work across
+        members (one data pass, shared predicate masks) override this.
+        """
+        require_multi(kernel)
+        return [self.run_groupby(member, db, predicates) for member in kernel.entry]
+
 
 def require_plain(kernel: Kernel) -> None:
     """Reject group-by kernels where a scalar batch is expected."""
@@ -107,6 +144,19 @@ def require_groupby(kernel: Kernel) -> None:
     if not kernel.plan.is_groupby:
         raise ValueError(
             f"kernel {kernel.fingerprint} is not a group-by kernel; use execute"
+        )
+    if isinstance(kernel.plan, MultiBatchPlan):
+        raise ValueError(
+            f"kernel {kernel.fingerprint} is a multi-plan kernel; use run_groupby_many"
+        )
+
+
+def require_multi(kernel: Kernel) -> None:
+    """Reject single-plan kernels where a multi-plan bundle is expected."""
+    if not isinstance(kernel.plan, MultiBatchPlan):
+        raise ValueError(
+            f"kernel {kernel.fingerprint} is not a multi-plan kernel; "
+            f"use execute/run_groupby"
         )
 
 

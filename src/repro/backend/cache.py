@@ -28,7 +28,7 @@ from pathlib import Path
 
 from repro.backend.base import ExecutionBackend, Kernel
 from repro.backend.layout import LayoutOptions
-from repro.backend.plan import BatchPlan
+from repro.backend.plan import BatchPlan, MultiBatchPlan
 
 
 @dataclass
@@ -66,9 +66,15 @@ class KernelCache:
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def get_or_compile(
-        self, backend: ExecutionBackend, plan: BatchPlan, layout: LayoutOptions
+        self, backend: ExecutionBackend, plan: BatchPlan | MultiBatchPlan, layout: LayoutOptions
     ) -> Kernel:
-        """Return the cached kernel for (plan, layout, backend) or build it."""
+        """Return the cached kernel for (plan, layout, backend) or build it.
+
+        A :class:`MultiBatchPlan` compiles by resolving each member plan
+        through this cache first (members already compiled as single
+        plans are reused, and vice versa) and bundling the member
+        kernels via the backend's ``compile_multi``.
+        """
         key = plan.fingerprint(layout, backend.kernel_key)
         with self._lock:
             kernel = self._entries.get(key)
@@ -79,7 +85,11 @@ class KernelCache:
             self.stats.misses += 1
         # Compile outside the lock: C++ kernels take seconds and must
         # not serialize unrelated cache traffic.
-        kernel = backend.compile_plan(plan, layout)
+        if isinstance(plan, MultiBatchPlan):
+            members = [self.get_or_compile(backend, p, layout) for p in plan.plans]
+            kernel = backend.compile_multi(plan, layout, members)
+        else:
+            kernel = backend.compile_plan(plan, layout)
         with self._lock:
             self._entries[key] = kernel
             self._entries.move_to_end(key)

@@ -159,20 +159,48 @@ class _CppGen:
             self.w(f"// plan fingerprint: {self.fingerprint}")
         self.w("#include <cstdio>")
         self.w("#include <cstdint>")
+        self.w("#include <cstddef>")
         self.w("#include <vector>")
         self.w("#include <array>")
         self.w("#include <unordered_map>")
-        self.w("#include <map>")
         self.w("#include <algorithm>")
         self.w("#include <chrono>")
         self.w()
         self.w(f"static constexpr int NS = {ns};")
         self.w("using Payload = std::array<double, NS>;")
         if self.groupby:
-            # std::map keeps group output deterministic (sorted by key).
+            # Sorted-run/vector accumulator: per-group output buffers in
+            # first-seen order with an unordered index, plus a last-slot
+            # shortcut so runs of equal group keys (the trie scan visits
+            # sorted row groups) skip the hash probe entirely.  Output
+            # is sorted at print time, so the emitted lines stay
+            # deterministic (the former std::map behaviour) without
+            # paying a tree rebalance per accumulated row.
             gtype = "int64_t" if self._group_is_key() else "double"
             self.w(f"using GroupKey = {gtype};")
-            self.w("using Groups = std::map<GroupKey, Payload>;")
+            self.w("struct Groups {")
+            self.w("    std::vector<GroupKey> keys;")
+            self.w("    std::vector<Payload> vals;")
+            self.w("    std::unordered_map<GroupKey, size_t> index;")
+            self.w("    GroupKey last_key{};")
+            self.w("    size_t last_slot = (size_t)-1;")
+            self.w("    Payload& slot(GroupKey k) {")
+            self.w("        if (last_slot != (size_t)-1 && last_key == k) return vals[last_slot];")
+            self.w("        auto it = index.find(k);")
+            self.w("        size_t s;")
+            self.w("        if (it == index.end()) {")
+            self.w("            s = keys.size();")
+            self.w("            index.emplace(k, s);")
+            self.w("            keys.push_back(k);")
+            self.w("            vals.push_back(Payload{});")
+            self.w("        } else {")
+            self.w("            s = it->second;")
+            self.w("        }")
+            self.w("        last_key = k;")
+            self.w("        last_slot = s;")
+            self.w("        return vals[s];")
+            self.w("    }")
+            self.w("};")
         self.w()
         for node in self.plan.root.walk():
             self._emit_row_struct(node)
@@ -361,7 +389,7 @@ class _CppGen:
             self.w(stmt)
         partials = self._emit_child_lookups_hash(node, views)
         if self.groupby:
-            self.w(f"Payload& gacc = groups[row.{self.plan.group_attr}];")
+            self.w(f"Payload& gacc = groups.slot(row.{self.plan.group_attr});")
         for i in range(ns):
             target = f"gacc[{i}]" if self.groupby else f"totals[{i}]"
             self.w(f"{target} += {self._spec_product(node, i, partials, 'row')};")
@@ -425,7 +453,7 @@ class _CppGen:
             self.indent += 1
             self.w("const auto& row = rows[j];")
             if self.groupby:
-                self.w(f"Payload& gacc = groups[row.{self.plan.group_attr}];")
+                self.w(f"Payload& gacc = groups.slot(row.{self.plan.group_attr});")
             for a in range(ns):
                 owned = node.owned_per_spec[a]
                 factors = ["(double)row.mult"] + [f"row.{attr}" for attr in owned] + [f"p{level}[{a}]"]
@@ -463,12 +491,22 @@ class _CppGen:
         )
         self.w(f'printf("%lld\\n", ns / {self.repetitions});')
         if self.groupby:
-            # One line per group: key then the NS aggregate values.
+            # One line per group, sorted by key (the accumulator keeps
+            # first-seen order; sorting here preserves the deterministic
+            # output contract of the former std::map).
             key_fmt = "%lld" if self._group_is_key() else "%.17g"
-            key_arg = "(long long)kv.first" if self._group_is_key() else "kv.first"
-            self.w("for (const auto& kv : result) {")
+            key_arg = (
+                "(long long)result.keys[oi]" if self._group_is_key() else "result.keys[oi]"
+            )
+            self.w("std::vector<size_t> order(result.keys.size());")
+            self.w("for (size_t i = 0; i < order.size(); ++i) order[i] = i;")
+            self.w(
+                "std::sort(order.begin(), order.end(), "
+                "[&](size_t a, size_t b) { return result.keys[a] < result.keys[b]; });"
+            )
+            self.w("for (size_t oi : order) {")
             self.w(f'    printf("{key_fmt}", {key_arg});')
-            self.w('    for (int a = 0; a < NS; ++a) printf(" %.17g", kv.second[a]);')
+            self.w('    for (int a = 0; a < NS; ++a) printf(" %.17g", result.vals[oi][a]);')
             self.w('    printf("\\n");')
             self.w("}")
         else:

@@ -1,0 +1,426 @@
+"""Per-database shared columnar storage (plan-independent).
+
+The :class:`ColumnStore` holds everything the vectorized NumPy backend
+derives from a :class:`~repro.db.database.Database` that does **not**
+depend on the batch plan being executed:
+
+* per-relation row lists, multiplicity vectors, and float/raw columns;
+* join-key codings — for a relation coded by a key-attribute tuple,
+  the dense code of every row plus the code table size, representative
+  rows, and uniqueness flag;
+* parent→child code maps (for each row of a parent relation, the code
+  of the child entry it joins, ``-1`` for dangling keys);
+* per-column value codings (the group-by key tables);
+* per-relation predicate masks for δ conditions.
+
+This is the IFAQ static-memoization idea applied to the data layer:
+the same database is scanned by many kernels — every feature's
+group-by plan during tree fitting, every shard of a sharded execution,
+every plan of a fused multi-plan batch — and all of them share one
+columnar copy instead of rebuilding per (kernel, database) pairs.
+
+Stores are cached process-wide keyed by database identity with a weak
+reference guard (id reuse is detected, and the store is evicted when
+the database is collected).  Construction is lazy: only the relations,
+codings and columns a plan actually touches are materialized.  Like
+every prepared representation here, the store assumes relations are not
+mutated in place between executions.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.db.database import Database
+
+
+@dataclass(frozen=True)
+class KeyCoding:
+    """A relation's rows coded by one key-attribute tuple.
+
+    The code numbering is an implementation detail: every downstream
+    fold (``np.bincount`` views, presence masks, parent gathers) is
+    invariant under renumbering, because rows of one code accumulate in
+    row order and codes never interact.  The vectorized coding numbers
+    keys in sorted order; the loop fallback in first-seen order.
+    """
+
+    #: per row: dense code of the row's key tuple
+    codes: np.ndarray
+    #: number of distinct key tuples (size of the code table)
+    n_keys: int
+    #: code → a representative row holding that key (last occurrence)
+    key_row: np.ndarray
+    #: True when every code maps to exactly one row (FK-style join)
+    unique: bool
+    #: key tuple → code (loop coding; consumed by parent-side code maps)
+    table: dict | None = None
+    #: sorted packed key values (vectorized coding; parent side uses
+    #: ``searchsorted`` against these instead of the table)
+    values: np.ndarray | None = None
+
+
+class ColumnStore:
+    """Shared per-relation ndarray columns and key codings for one database.
+
+    All methods memoize: the first call pays the Python tuple-hashing
+    loop, every later call — from any kernel, plan view, or fused batch
+    member — returns the same arrays.  A lock guards the memo tables so
+    sharded preparation from worker threads stays consistent.
+    """
+
+    def __init__(self, db: Database):
+        # Weak: the registry maps db → store, so a strong edge back
+        # would keep every database alive forever and make the
+        # registry's weakref eviction dead code.  Columns are built
+        # lazily from calls that hold the database anyway.
+        self._db_ref = weakref.ref(db)
+        self._lock = threading.RLock()
+        #: predicate-free subtree evaluation results, keyed by the
+        #: numpy backend's structural scan keys — rerooted plans share
+        #: most subtrees verbatim, so their bottom-up passes meet here
+        self.eval_cache: dict = {}
+        self._records: dict[str, list] = {}
+        self._mult: dict[str, np.ndarray] = {}
+        self._float_cols: dict[tuple[str, str], np.ndarray] = {}
+        self._raw_cols: dict[tuple[str, str], np.ndarray] = {}
+        self._key_codings: dict[tuple[str, tuple[str, ...]], KeyCoding] = {}
+        self._parent_codes: dict[tuple[str, str, tuple[str, ...]], np.ndarray] = {}
+        self._column_codings: dict[tuple[str, str], tuple[list, np.ndarray]] = {}
+
+    @property
+    def db(self) -> Database:
+        db = self._db_ref()
+        if db is None:
+            raise RuntimeError(
+                "the database backing this ColumnStore was garbage-collected"
+            )
+        return db
+
+    # -- per-relation arrays ----------------------------------------------
+
+    def records(self, relation: str) -> list:
+        with self._lock:
+            recs = self._records.get(relation)
+            if recs is None:
+                recs = list(self.db.relation(relation).data)
+                self._records[relation] = recs
+            return recs
+
+    def n_rows(self, relation: str) -> int:
+        return len(self.records(relation))
+
+    def mult(self, relation: str) -> np.ndarray:
+        with self._lock:
+            arr = self._mult.get(relation)
+            if arr is None:
+                arr = np.array(
+                    list(self.db.relation(relation).data.values()), dtype=np.float64
+                )
+                self._mult[relation] = arr
+            return arr
+
+    def float_col(self, relation: str, attr: str) -> np.ndarray:
+        with self._lock:
+            col = self._float_cols.get((relation, attr))
+            if col is None:
+                col = np.array(
+                    [rec[attr] for rec in self.records(relation)], dtype=np.float64
+                )
+                self._float_cols[(relation, attr)] = col
+            return col
+
+    def raw_col(self, relation: str, attr: str) -> np.ndarray:
+        """Natural-dtype column (ints stay ints; used for coded features)."""
+        with self._lock:
+            col = self._raw_cols.get((relation, attr))
+            if col is None:
+                col = np.array([rec[attr] for rec in self.records(relation)])
+                self._raw_cols[(relation, attr)] = col
+            return col
+
+    # -- join-key codings --------------------------------------------------
+
+    def _packed_key_col(
+        self, relation: str, key_attrs: tuple[str, ...]
+    ) -> np.ndarray | None:
+        """One ndarray carrying the key tuple per row, or ``None``.
+
+        Single-attribute keys are the column itself; two integer
+        attributes of moderate range pack collision-free into one int64
+        (the C++ backend's packing, here with a range guard so negative
+        and large surrogates fall back to the loop coding).
+        """
+        if len(key_attrs) == 1:
+            return self.raw_col(relation, key_attrs[0])
+        if len(key_attrs) == 2:
+            a = self.raw_col(relation, key_attrs[0])
+            b = self.raw_col(relation, key_attrs[1])
+            if (
+                a.size
+                and np.issubdtype(a.dtype, np.integer)
+                and np.issubdtype(b.dtype, np.integer)
+                and int(np.abs(a).max()) < 2**30
+                and int(np.abs(b).max()) < 2**31
+            ):
+                return a.astype(np.int64) * (1 << 32) + b.astype(np.int64)
+        return None
+
+    def key_coding(self, relation: str, key_attrs: tuple[str, ...]) -> KeyCoding:
+        """Dense codes of ``relation``'s rows by their ``key_attrs`` tuple.
+
+        Vectorized (``np.unique`` over the packed key column) when the
+        key packs into one comparable ndarray; otherwise a first-seen
+        Python loop.  Either way the last occurrence of a key is its
+        representative row (the bag-join convention the engines share).
+        """
+        with self._lock:
+            coding = self._key_codings.get((relation, key_attrs))
+            if coding is not None:
+                return coding
+            coding = self._vectorized_key_coding(relation, key_attrs)
+            if coding is None:
+                coding = self._loop_key_coding(relation, key_attrs)
+            self._key_codings[(relation, key_attrs)] = coding
+            return coding
+
+    def _vectorized_key_coding(
+        self, relation: str, key_attrs: tuple[str, ...]
+    ) -> KeyCoding | None:
+        packed = self._packed_key_col(relation, key_attrs)
+        if packed is None:
+            return None
+        try:
+            values, codes = np.unique(packed, return_inverse=True)
+        except TypeError:  # incomparable object column
+            return None
+        codes = codes.astype(np.intp, copy=False)
+        key_row = np.empty(len(values), dtype=np.intp)
+        # Duplicate fancy indices keep the last write: last occurrence.
+        key_row[codes] = np.arange(len(codes), dtype=np.intp)
+        return KeyCoding(
+            codes=codes,
+            n_keys=len(values),
+            key_row=key_row,
+            unique=len(values) == len(codes),
+            values=values,
+        )
+
+    def _loop_key_coding(self, relation: str, key_attrs: tuple[str, ...]) -> KeyCoding:
+        records = self.records(relation)
+        table: dict[tuple, int] = {}
+        codes = np.empty(len(records), dtype=np.intp)
+        key_row: list[int] = []
+        unique = True
+        for i, rec in enumerate(records):
+            key = tuple(rec[a] for a in key_attrs)
+            code = table.get(key)
+            if code is None:
+                table[key] = code = len(table)
+                key_row.append(i)
+            else:
+                key_row[code] = i  # last occurrence wins (bag join)
+                unique = False
+            codes[i] = code
+        return KeyCoding(
+            codes=codes,
+            n_keys=len(table),
+            key_row=np.array(key_row, dtype=np.intp),
+            unique=unique,
+            table=table,
+        )
+
+    def parent_codes(
+        self, parent: str, child: str, key_attrs: tuple[str, ...]
+    ) -> np.ndarray:
+        """For each ``parent`` row, the child key-table code (-1 dangling)."""
+        with self._lock:
+            codes = self._parent_codes.get((parent, child, key_attrs))
+            if codes is not None:
+                return codes
+            coding = self.key_coding(child, key_attrs)
+            codes = None
+            if coding.values is not None:
+                packed = self._packed_key_col(parent, key_attrs)
+                if packed is not None:
+                    try:
+                        pos = np.searchsorted(coding.values, packed)
+                    except TypeError:
+                        pos = None
+                    if pos is not None:
+                        clipped = np.minimum(pos, max(coding.n_keys - 1, 0))
+                        hit = (
+                            (coding.values[clipped] == packed)
+                            if coding.n_keys
+                            else np.zeros(len(packed), dtype=bool)
+                        )
+                        codes = np.where(hit, clipped, -1).astype(np.intp, copy=False)
+            if codes is None:
+                table = coding.table
+                if table is None:
+                    # Vectorized child coding but unpackable parent
+                    # side: rebuild a tuple-keyed table from the child
+                    # records (codes are per-row, duplicates agree).
+                    table = {
+                        tuple(rec[a] for a in key_attrs): int(coding.codes[i])
+                        for i, rec in enumerate(self.records(child))
+                    }
+                records = self.records(parent)
+                codes = np.empty(len(records), dtype=np.intp)
+                for i, rec in enumerate(records):
+                    codes[i] = table.get(tuple(rec[a] for a in key_attrs), -1)
+            self._parent_codes[(parent, child, key_attrs)] = codes
+            return codes
+
+    # -- value codings (group-by key tables) ------------------------------
+
+    def column_coding(self, relation: str, attr: str) -> tuple[list, np.ndarray]:
+        """Dense codes for one column (the group-by key tables).
+
+        Vectorized via ``np.unique`` (codes in sorted-value order) with
+        a first-seen loop fallback for incomparable object columns; the
+        key list always holds native Python values, so group
+        dictionaries compare equal to the interpreted engine's.  Code
+        numbering is bijection-invariant for every group fold.
+        """
+        with self._lock:
+            coding = self._column_codings.get((relation, attr))
+            if coding is not None:
+                return coding
+            col = self.raw_col(relation, attr)
+            try:
+                values, codes = np.unique(col, return_inverse=True)
+                coding = (values.tolist(), codes.astype(np.intp, copy=False))
+            except TypeError:
+                records = self.records(relation)
+                table: dict[Any, int] = {}
+                codes = np.empty(len(records), dtype=np.intp)
+                for i, rec in enumerate(records):
+                    codes[i] = table.setdefault(rec[attr], len(table))
+                coding = (list(table), codes)
+            self._column_codings[(relation, attr)] = coding
+            return coding
+
+    # -- predicate masks ---------------------------------------------------
+
+    def predicate_masks(
+        self, predicates, relations: Iterable[str] | None = None
+    ) -> dict[str, np.ndarray]:
+        """Per-relation alive masks for δ conditions.
+
+        Structured conditions (objects exposing ``feature``/``op``/
+        ``threshold``, i.e. the CART learner's
+        :class:`~repro.ml.regression_tree.Condition`) evaluate
+        vectorized on the owning relation's column; opaque callables
+        fall back to a per-record loop over that relation only.
+        ``relations`` restricts the mask set (a plan view passes the
+        relations of its tree); predicates on absent relations are
+        ignored, matching the per-plan behaviour.
+        """
+        masks: dict[str, np.ndarray] = {}
+        if not predicates:
+            return masks
+        wanted = set(relations) if relations is not None else None
+        for rel_name, preds in predicates.items():
+            if not preds or rel_name not in self.db.relations:
+                continue
+            if wanted is not None and rel_name not in wanted:
+                continue
+            records = self.records(rel_name)
+            mask = np.ones(len(records), dtype=bool)
+            for p in preds:
+                feature = getattr(p, "feature", None)
+                op = getattr(p, "op", None)
+                if feature is not None and op in ("<=", ">"):
+                    col = self.raw_col(rel_name, feature)
+                    threshold = p.threshold
+                    mask &= col <= threshold if op == "<=" else col > threshold
+                else:
+                    mask &= np.fromiter(
+                        (bool(p(rec)) for rec in records),
+                        dtype=bool,
+                        count=len(records),
+                    )
+            masks[rel_name] = mask
+        return masks
+
+
+# -- process-wide store registry -------------------------------------------
+
+
+@dataclass
+class StoreStats:
+    """Build/hit counters for the store registry (benchmark reporting)."""
+
+    builds: int = 0
+    hits: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.builds + self.hits
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {
+            "builds": self.builds,
+            "hits": self.hits,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+_STORES: dict[int, tuple[weakref.ref, ColumnStore]] = {}
+_STORES_LOCK = threading.Lock()
+_STATS = StoreStats()
+
+
+def column_store(db: Database) -> ColumnStore:
+    """The shared :class:`ColumnStore` for ``db``, built once per database.
+
+    Keyed by database identity; the weak reference both guards against
+    id reuse and evicts the store when the database is collected, so
+    long-lived processes (the kernel cache outlives databases) do not
+    pin dead columnar copies.
+    """
+    key = id(db)
+    with _STORES_LOCK:
+        entry = _STORES.get(key)
+        if entry is not None:
+            db_ref, store = entry
+            if db_ref() is db:
+                _STATS.hits += 1
+                return store
+        store = ColumnStore(db)
+        _STATS.builds += 1
+        _STORES[key] = (weakref.ref(db, lambda _ref: _evict(key)), store)
+        return store
+
+
+def _evict(key: int) -> None:
+    stores, lock = _STORES, _STORES_LOCK
+    if stores is None or lock is None:  # interpreter shutdown
+        return
+    with lock:
+        stores.pop(key, None)
+
+
+def column_store_stats() -> StoreStats:
+    """Process-wide store build/hit counters."""
+    return _STATS
+
+
+def reset_column_store_stats() -> None:
+    _STATS.builds = 0
+    _STATS.hits = 0
+
+
+def clear_column_stores() -> int:
+    """Drop every cached store (tests / memory pressure); returns count."""
+    with _STORES_LOCK:
+        n = len(_STORES)
+        _STORES.clear()
+    return n

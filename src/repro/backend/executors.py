@@ -24,6 +24,7 @@ from repro.backend.base import (
     Kernel,
     merge_vectors,
     require_groupby,
+    require_multi,
     require_plain,
 )
 from repro.backend.codegen_cpp import (
@@ -185,6 +186,15 @@ class PythonKernelBackend(ExecutionBackend):
         views = kernel.entry["build_views"](data)
         return kernel.entry["scan_root"](data, views)
 
+    def run_groupby_many(
+        self, kernel: Kernel, db: Database, predicates=None
+    ) -> list[dict]:
+        # Fused bundles share the δ-filtered database across members —
+        # the record-level predicate scan runs once, not once per plan.
+        require_multi(kernel)
+        db = apply_predicates(db, predicates)
+        return [self.run_groupby(member, db) for member in kernel.entry]
+
 
 @dataclass
 class CppKernelBackend(ExecutionBackend):
@@ -238,3 +248,11 @@ class CppKernelBackend(ExecutionBackend):
             parts = line.split()
             groups[key_of(parts[0])] = [float(v) for v in parts[1:]]
         return groups
+
+    def run_groupby_many(
+        self, kernel: Kernel, db: Database, predicates=None
+    ) -> list[dict]:
+        # One δ-filter pass shared by every member binary invocation.
+        require_multi(kernel)
+        db = apply_predicates(db, predicates)
+        return [self.run_groupby(member, db) for member in kernel.entry]

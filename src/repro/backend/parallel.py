@@ -11,12 +11,15 @@ law ``Σ_{r ∈ R} f(r) = ⊕_k Σ_{r ∈ R_k} f(r)`` for any partition
 Two execution paths:
 
 * **Block path** (inner backends exposing the ``prepare`` /
-  ``block_ranges`` / ``run_block`` protocol, i.e. the generated-Python
-  backend): data and views are prepared once and shared read-only;
-  worker threads fold disjoint row blocks and the partials are merged
-  in canonical block order.  Because the block layout depends only on
-  the data — never on the shard count — the merged result is
-  **bit-identical** to the single-shot result for every K.
+  ``block_ranges`` / ``run_block`` protocol — the generated-Python and
+  numpy backends — plus the group-by analog ``prepare_groupby`` /
+  ``run_groupby_block`` / ``merge_groupby_blocks`` on numpy): data and
+  views are prepared once and shared read-only; worker threads fold
+  disjoint row blocks and the partials are merged in canonical block
+  order.  Because the block layout depends only on the data — never on
+  the shard count — the merged result is **bit-identical** to the
+  single-shot result for every K, and no per-shard databases or
+  layouts are ever built.
 * **Sub-database path** (engine, C++): the root relation is split into
   K contiguous sub-relations and the inner backend runs once per shard
   (the C++ binary in parallel subprocesses that release the GIL).
@@ -115,6 +118,12 @@ class ShardedBackend(ExecutionBackend):
     def compile_plan(self, plan: BatchPlan, layout: LayoutOptions) -> Kernel:
         return self.inner.compile_plan(plan, layout)
 
+    def compile_multi(self, mplan, layout: LayoutOptions, members) -> Kernel:
+        # Delegate so the bundle carries the inner backend's fusion
+        # metadata (kernel keys are shared, so the same cached multi
+        # kernel serves sharded and single-shot execution).
+        return self.inner.compile_multi(mplan, layout, members)
+
     def execute(self, kernel: Kernel, db: Database) -> dict[str, float]:
         if self._supports_blocks(kernel):
             return self._execute_blocks(kernel, db)
@@ -123,10 +132,19 @@ class ShardedBackend(ExecutionBackend):
     def run_groupby(self, kernel: Kernel, db: Database, predicates=None) -> dict:
         """Group-by over K shards of the plan's root relation.
 
-        The group-by root is the owner of the grouping attribute, so
-        each shard contributes the groups its root rows produce; shard
-        partials merge per group value with ``v_add`` in shard order.
+        Inner backends exposing the group-by block protocol
+        (``prepare_groupby`` / ``run_groupby_block`` /
+        ``merge_groupby_blocks``, i.e. the numpy backend) prepare the
+        shared columnar state **once** and fold disjoint root-row
+        blocks from worker threads, merging in canonical block order —
+        bit-identical to single-shot, with no per-shard databases or
+        layouts.  Other backends fall back to the sub-database path:
+        each shard contributes the groups its root rows produce, and
+        shard partials merge per group value with ``v_add`` in shard
+        order.
         """
+        if self._supports_groupby_blocks(kernel):
+            return self._groupby_blocks(kernel, db, predicates)
         shard_dbs = shard_database(db, kernel.plan.root.relation, self.shards)
         if not shard_dbs:
             self.last_shard_seconds = []
@@ -152,6 +170,41 @@ class ShardedBackend(ExecutionBackend):
         return bool(kernel.meta.get("supports_blocks")) and all(
             hasattr(self.inner, m) for m in ("prepare", "block_ranges", "run_block")
         )
+
+    def _supports_groupby_blocks(self, kernel: Kernel) -> bool:
+        return bool(kernel.meta.get("supports_groupby_blocks")) and all(
+            hasattr(self.inner, m)
+            for m in ("prepare_groupby", "block_ranges", "run_groupby_block",
+                      "merge_groupby_blocks")
+        )
+
+    def _groupby_blocks(self, kernel: Kernel, db: Database, predicates=None) -> dict:
+        inner = self.inner
+        state, n_rows = inner.prepare_groupby(kernel, db, predicates)
+        if n_rows == 0:
+            self.last_shard_seconds = []
+            return inner.merge_groupby_blocks(kernel, state, [])
+        ranges = list(enumerate(inner.block_ranges(n_rows)))
+        assignments = _chunk(ranges, self.shards)
+
+        def run_shard(blocks):
+            started = time.perf_counter()
+            partials = [
+                (idx, inner.run_groupby_block(kernel, state, lo, hi))
+                for idx, (lo, hi) in blocks
+            ]
+            return partials, time.perf_counter() - started
+
+        if len(assignments) == 1:
+            shard_outputs = [run_shard(assignments[0])]
+        else:
+            with ThreadPoolExecutor(max_workers=len(assignments)) as pool:
+                shard_outputs = list(pool.map(run_shard, assignments))
+
+        self.last_shard_seconds = [seconds for _, seconds in shard_outputs]
+        by_index = {idx: part for partials, _ in shard_outputs for idx, part in partials}
+        ordered = [by_index[idx] for idx, _ in ranges]
+        return inner.merge_groupby_blocks(kernel, state, ordered)
 
     def _execute_blocks(self, kernel: Kernel, db: Database) -> dict[str, float]:
         inner = self.inner

@@ -105,12 +105,88 @@ class BatchPlan:
         digest = hashlib.sha256("\n".join(parts).encode()).hexdigest()
         return digest[:16]
 
+    def scan_fingerprint(self) -> str:
+        """Identity of the plan's *scan* — everything except the
+        grouping attribute and column orders.
+
+        Two group-by plans with equal scan fingerprints walk the same
+        tree, multiply the same per-spec columns, and join on the same
+        keys; only the grouping column differs.  A fused multi-plan
+        execution computes the per-row aggregate values once per scan
+        fingerprint and folds them under each member's group coding —
+        the static-memoization/code-motion sharing of the paper applied
+        across plans of one batch.
+        """
+        parts: list[str] = []
+        for node in self.root.walk():
+            parts.append(
+                "|".join(
+                    (
+                        node.relation,
+                        ",".join(node.parent_key),
+                        ";".join(",".join(k) for k in node.child_keys),
+                        ";".join(",".join(o) for o in node.owned_per_spec),
+                    )
+                )
+            )
+        for spec in self.batch:
+            parts.append(spec.name + ":" + ",".join(spec.attrs))
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()[:16]
+
+
+@dataclass
+class MultiBatchPlan:
+    """A fused bundle of group-by plans executed as one kernel.
+
+    The tree learner's per-node work is one group-by batch **per
+    feature** over the same database with the same δ predicates; a
+    :class:`MultiBatchPlan` submits all of them at once so backends can
+    share work across members — the NumPy backend shares the columnar
+    store, the predicate masks, and (for members with equal
+    :meth:`BatchPlan.scan_fingerprint`) the entire bottom-up value
+    pass, folding each member with its own group coding.
+
+    Multi-plans are cacheable kernels like any single plan: the
+    fingerprint combines the member fingerprints, so the same feature
+    set compiles once and every later tree node is a cache hit.
+    """
+
+    plans: list[BatchPlan]
+
+    def __post_init__(self) -> None:
+        if not self.plans:
+            raise ValueError("MultiBatchPlan needs at least one member plan")
+        for p in self.plans:
+            if not p.is_groupby:
+                raise ValueError(
+                    "MultiBatchPlan members must be group-by plans; "
+                    f"plan for batch {p.batch!r} is plain"
+                )
+
+    @property
+    def is_groupby(self) -> bool:
+        return True
+
+    @property
+    def group_attr(self) -> tuple[str, ...]:
+        """The member grouping attributes (plural, in member order)."""
+        return tuple(p.group_attr for p in self.plans)
+
+    @property
+    def num_aggregates(self) -> int:
+        return self.plans[0].num_aggregates
+
+    def fingerprint(self, layout=None, backend: str = "") -> str:
+        parts = ["multi"] + [p.fingerprint(layout, backend) for p in self.plans]
+        return hashlib.sha256("\n".join(parts).encode()).hexdigest()[:16]
+
 
 def build_batch_plan(
     db: Database,
     tree: JoinTreeNode,
     batch: AggregateBatch,
     group_attr: str | None = None,
+    key_stats: dict | None = None,
 ) -> BatchPlan:
     """Derive the physical plan from a join tree and a batch.
 
@@ -123,6 +199,12 @@ def build_batch_plan(
     With ``group_attr`` the tree is rerooted at the attribute's owning
     relation (the LMFAO multi-root trick) and the grouping column joins
     the root's column order, producing a group-by plan.
+
+    ``key_stats`` is an optional memo for the per-child distinct-key
+    counts, keyed by ``(relation, join_attrs)``.  The counts scan whole
+    relations; callers planning many plans over the same database (the
+    tree learner plans one group-by per feature) pass a shared dict so
+    each (relation, key) pair is counted once instead of once per plan.
     """
     if group_attr is not None:
         from repro.aggregates.join_tree import reroot
@@ -133,10 +215,16 @@ def build_batch_plan(
     owners = assign_attribute_owners(tree, db, batch.all_attributes())
 
     def distinct_keys(parent: JoinTreeNode, child: JoinTreeNode) -> int:
+        memo_key = (parent.relation, child.join_attrs)
+        if key_stats is not None and memo_key in key_stats:
+            return key_stats[memo_key]
         rel = db.relation(parent.relation)
-        return len({
+        count = len({
             tuple(rec[a] for a in child.join_attrs) for rec in rel.data
         })
+        if key_stats is not None:
+            key_stats[memo_key] = count
+        return count
 
     def build(node: JoinTreeNode, is_root: bool = False) -> NodePlan:
         ordered = sorted(node.children, key=lambda c: distinct_keys(node, c))

@@ -116,9 +116,11 @@ def _sharded_factory(**context) -> ExecutionBackend:
 
 
 def _numpy_factory(**context) -> ExecutionBackend:
-    from repro.backend.numpy_backend import NumpyBackend
+    from repro.backend.numpy_backend import DEFAULT_NUMPY_BLOCK_SIZE, NumpyBackend
 
-    return NumpyBackend()
+    return NumpyBackend(
+        block_size=context.get("block_size", DEFAULT_NUMPY_BLOCK_SIZE)
+    )
 
 
 register_backend("engine", _engine_factory)

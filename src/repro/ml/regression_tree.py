@@ -24,10 +24,10 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.aggregates.batch import variance_batch
-from repro.aggregates.engine import Predicates, compute_groupby
+from repro.aggregates.engine import Predicates, compute_groupby, compute_groupby_many
 from repro.aggregates.join_tree import JoinTreeNode, build_join_tree
 from repro.backend.cache import KernelCache
-from repro.backend.plan import build_batch_plan
+from repro.backend.plan import MultiBatchPlan, build_batch_plan
 from repro.backend.registry import get_backend
 from repro.db.database import Database
 from repro.db.query import JoinQuery
@@ -118,10 +118,18 @@ class IFAQRegressionTree:
     batches: ``"vectorized"`` (default) is the compiled-kernel analog —
     numpy bincounts over per-relation arrays with fact-aligned key codes
     (see :mod:`repro.ml.tree_engine`) — while ``"interpreted"`` issues
-    one group-by batch per feature per node through the backend
-    registry (``backend`` picks the executor, default ``"engine"``);
-    the per-feature kernels compile once and every later node is a
+    the per-node group-by batches through the backend registry
+    (``backend`` picks the executor, default ``"engine"``); the
+    per-feature kernels compile once and every later node is a
     kernel-cache hit.  Both methods produce the same tree.
+
+    With ``fuse_node_batches`` (default) the interpreted path submits
+    all F feature group-bys of a node as **one fused**
+    :class:`~repro.backend.plan.MultiBatchPlan` kernel, so backends
+    share work across features — the numpy backend computes δ masks
+    once per node and one bottom-up pass per owner relation instead of
+    one per feature.  Results are identical either way; the flag exists
+    for A/B benchmarking (see ``benchmarks/fig5_trajectory.py``).
     """
 
     features: Sequence[str]
@@ -135,11 +143,14 @@ class IFAQRegressionTree:
     #: method's default — "numpy" vectorized, "engine" interpreted)
     backend: Any = None
     kernel_cache: KernelCache | None = None
+    #: submit each node's F feature group-bys as one fused kernel
+    fuse_node_batches: bool = True
 
     root_: TreeNode | None = None
     #: attribute → owning relation, fixed at fit time
     _owners: dict[str, str] = field(default_factory=dict)
     _groupby_plans: dict[str, Any] = field(default_factory=dict, repr=False)
+    _multi_plan: Any = field(default=None, repr=False)
     _backend_impl: Any = field(default=None, repr=False)
 
     def fit(self, db: Database, query: JoinQuery) -> "IFAQRegressionTree":
@@ -165,11 +176,19 @@ class IFAQRegressionTree:
             )
             # One group-by plan per feature, planned once: every tree
             # node below reuses the compiled kernel through the cache.
+            # The distinct-key statistics are shared across the feature
+            # plans (each would otherwise rescan the same relations).
             batch = variance_batch(self.label)
+            key_stats: dict = {}
             self._groupby_plans = {
-                f: build_batch_plan(db, tree, batch, group_attr=f)
+                f: build_batch_plan(db, tree, batch, group_attr=f, key_stats=key_stats)
                 for f in self.features
             }
+            self._multi_plan = (
+                MultiBatchPlan([self._groupby_plans[f] for f in self.features])
+                if self.fuse_node_batches
+                else None
+            )
             self.root_ = self._build_node(db, tree, conditions=[], depth=1)
         else:
             raise ValueError(f"unknown tree method {self.method!r}")
@@ -289,17 +308,37 @@ class IFAQRegressionTree:
         best: tuple[float, Condition] | None = None
         node_count = node_sum = node_sum_sq = None
 
-        for feature in self.features:
-            groups = compute_groupby(
+        # The node's F feature batches go out as one fused kernel so
+        # the backend shares δ masks and value passes across features;
+        # unfused falls back to one compute_groupby call per feature.
+        if self._multi_plan is not None:
+            node_groups = compute_groupby_many(
                 db,
                 tree,
                 batch,
-                feature,
+                list(self.features),
                 predicates,
                 backend=self._backend_impl,
                 kernel_cache=self.kernel_cache,
-                plan=self._groupby_plans.get(feature),
+                multi_plan=self._multi_plan,
             )
+        else:
+            node_groups = None
+
+        for feature in self.features:
+            if node_groups is not None:
+                groups = node_groups[feature]
+            else:
+                groups = compute_groupby(
+                    db,
+                    tree,
+                    batch,
+                    feature,
+                    predicates,
+                    backend=self._backend_impl,
+                    kernel_cache=self.kernel_cache,
+                    plan=self._groupby_plans.get(feature),
+                )
             if not groups:
                 return None
             stats = sorted(groups.items())

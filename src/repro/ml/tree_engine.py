@@ -10,11 +10,15 @@ The heavy machinery — per-relation column arrays, join-key coding, and
 the **fact-aligned row index** (for fact row ``i``, the joining row of
 every relation, composed by chaining foreign-key lookups down the join
 tree; the snowflake ``Census`` hop goes through ``Location``) — lives
-in :class:`repro.backend.numpy_backend.PreparedLayout`.  The engine is
+in :class:`repro.backend.numpy_backend.PreparedLayout`, itself a thin
+view over the shared per-database
+:class:`~repro.backend.column_store.ColumnStore`.  The engine is
 resolved through the backend registry and its variance-batch kernel
 through the :class:`~repro.backend.cache.KernelCache`, exactly like the
 compiler driver resolves batch kernels, so repeated fits over the same
-database reuse both the kernel and the prepared layout.
+database reuse the kernel, the plan view, *and* the columnar arrays —
+which are also the arrays every interpreted group-by kernel over the
+same database reads.
 
 What stays here is the CART-specific view: each feature coded against
 the sorted distinct values of its fact-aligned column, so a per-node
@@ -83,6 +87,8 @@ class VectorizedTreeEngine:
         plan = build_batch_plan(db, tree, variance_batch(label))
         cache = kernel_cache if kernel_cache is not None else default_kernel_cache()
         self.kernel = cache.get_or_compile(resolved, plan, LAYOUT_SORTED)
+        # Store-backed: the columns/codings below are shared with every
+        # other kernel over this database, not private to this engine.
         self.layout = resolved.prepared_layout(self.kernel, db)
         # Fact alignment requires every fact row to join exactly one
         # tuple per relation; validate the whole tree eagerly (not just

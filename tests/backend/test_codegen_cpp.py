@@ -126,3 +126,40 @@ def test_composite_key_star(paper_db):
             _, values = compiled.run(data)
         for i, spec in enumerate(batch):
             assert math.isclose(values[i], oracle[spec.name], rel_tol=1e-9)
+
+
+def test_groupby_uses_vector_accumulator(setup):
+    """The group scan accumulates into per-group vector buffers with a
+    sorted-run shortcut — no std::map in the generated program."""
+    from repro.aggregates import variance_batch
+
+    db, _, _, _ = setup
+    tree = build_join_tree(db.schema(), ("S", "R", "I"), stats=db.statistics())
+    plan = build_batch_plan(db, tree, variance_batch("units"), group_attr="price")
+    source = generate_cpp_kernel(plan, LAYOUT_SORTED).source
+    assert "std::map" not in source
+    assert "struct Groups" in source
+    assert "groups.slot(" in source
+    assert "last_slot" in source  # the run shortcut
+
+
+def test_groupby_output_sorted_and_matches_engine(setup):
+    """Output lines stay sorted by group key (the std::map contract)."""
+    from repro.aggregates import compute_groupby_tree, variance_batch
+    from repro.backend.executors import CppKernelBackend
+
+    db, _, _, _ = setup
+    tree = build_join_tree(db.schema(), ("S", "R", "I"), stats=db.statistics())
+    plan = build_batch_plan(db, tree, variance_batch("units"), group_attr="price")
+    backend = CppKernelBackend()
+    kernel = backend.compile_plan(plan, LAYOUT_SORTED)
+    groups = backend.run_groupby(kernel, db)
+    keys = list(groups)
+    assert keys == sorted(keys)
+    want = compute_groupby_tree(db, tree, variance_batch("units"), "price")
+    assert set(groups) == set(want)
+    for key in want:
+        assert all(
+            math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+            for a, b in zip(groups[key], want[key])
+        )

@@ -22,10 +22,14 @@ from repro.aggregates import (
     AggregateBatch,
     AggregateSpec,
     build_join_tree,
+    compute_groupby,
+    compute_groupby_many,
     compute_groupby_tree,
 )
 from repro.backend import (
     EngineBackend,
+    KernelCache,
+    MultiBatchPlan,
     NumpyBackend,
     PythonKernelBackend,
     ShardedBackend,
@@ -140,6 +144,57 @@ def test_groupby_bit_identical_on_integer_domain(db, batch, group_attr):
     for backend in _backends():
         kernel = backend.compile_plan(plan, LAYOUT_SORTED)
         assert backend.run_groupby(kernel, db) == reference, backend.name
+
+
+#: all three grouping attributes at once — owned by F, D1 and D2, so
+#: the fused bundle spans three differently-rerooted member plans
+FUSED_ATTRS = ("y", "a", "b")
+
+
+@settings(max_examples=25, deadline=None)
+@given(db=int_snowflakes(), batch=batches(), threshold=int_values)
+def test_fused_groupby_many_matches_per_plan(db, batch, threshold):
+    """Fused run_groupby_many ≡ per-plan compute_groupby, bit for bit.
+
+    Bags and dangling fact keys are included by construction, so the
+    fused path is exercised exactly where fact-aligned shortcuts would
+    be wrong; every backend (interpreted, generated Python, numpy) must
+    agree element-wise with its own per-plan results, with and without
+    δ predicates (the tree learner's structured conditions).
+    """
+    from repro.ml.regression_tree import Condition
+
+    tree = build_join_tree(db.schema(), ("F", "D1", "D2"), stats=dict(db.statistics()))
+    for predicates in (None, {"D1": [Condition("a", "<=", float(threshold))]}):
+        for backend in _backends():
+            cache = KernelCache()
+            fused = compute_groupby_many(
+                db, tree, batch, FUSED_ATTRS, predicates,
+                backend=backend, kernel_cache=cache,
+            )
+            for attr in FUSED_ATTRS:
+                separate = compute_groupby(
+                    db, tree, batch, attr, predicates,
+                    backend=backend, kernel_cache=cache,
+                )
+                assert fused[attr] == separate, (backend.name, attr)
+
+
+@settings(max_examples=15, deadline=None)
+@given(db=int_snowflakes(), batch=batches())
+def test_fused_groupby_many_sharded_bit_identical(db, batch):
+    """The fused bundle under ShardedBackend equals single-shot numpy."""
+    tree = build_join_tree(db.schema(), ("F", "D1", "D2"), stats=dict(db.statistics()))
+    plans = [
+        build_batch_plan(db, tree, batch, group_attr=attr) for attr in FUSED_ATTRS
+    ]
+    mplan = MultiBatchPlan(plans)
+    numpy_backend = NumpyBackend()
+    kernel = KernelCache().get_or_compile(numpy_backend, mplan, LAYOUT_SORTED)
+    reference = numpy_backend.run_groupby_many(kernel, db)
+    for shards in SHARD_COUNTS:
+        sharded = ShardedBackend(inner=numpy_backend, shards=shards)
+        assert sharded.run_groupby_many(kernel, db) == reference, shards
 
 
 @settings(max_examples=15, deadline=None)
