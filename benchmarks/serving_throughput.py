@@ -1,0 +1,207 @@
+"""Emit ``BENCH_serving.json`` — async serving throughput with coalescing.
+
+Measures the serving layer's request-batching win: N concurrent
+clients repeatedly ask for the *same* group-by plan fingerprint, and
+the service answers every wave with a single kernel run instead of N.
+Two configurations run over identical request streams:
+
+* ``naive``      — coalescing and fusion disabled: every request pays
+  its own kernel execution (the per-request baseline);
+* ``coalesced``  — the default service: per-fingerprint coalescing on,
+  queued group-bys over the same database/δ fused into one
+  MultiBatchPlan.
+
+Three request streams: ``same-fingerprint`` (every client asks for one
+hot plan), ``filtered`` (the same, with a δ predicate — masked value
+passes are not memoized across runs, so this is the full
+per-execution cost the coalescer amortizes), and ``fanout`` (clients
+rotate through all features, measuring the fusion path).
+
+The report records throughput (requests/second), the speedup of
+coalesced over naive, the full ``stats_dict`` of each service, and a
+``bit_identical`` flag checking every response against a sequential
+single-shot execution of the same kernel — the acceptance gate is
+speedup ≥ 2× at ≥ 8 concurrent clients with identical results.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serving_throughput.py [--out BENCH_serving.json]
+
+Environment: ``IFAQ_SERVE_CLIENTS`` (default 16), ``IFAQ_SERVE_ROUNDS``
+(default 6), ``IFAQ_SERVE_FACTS`` (default 40000), ``IFAQ_SERVE_BACKEND``
+(default numpy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro import KernelCache, __version__
+from repro.aggregates import build_join_tree, variance_batch
+from repro.aggregates.engine import compute_groupby
+from repro.data import star_schema
+from repro.ml.regression_tree import Condition
+from repro.serving import AggregateService, GroupByRequest
+
+CLIENTS = int(os.environ.get("IFAQ_SERVE_CLIENTS", "16"))
+ROUNDS = int(os.environ.get("IFAQ_SERVE_ROUNDS", "6"))
+FACTS = int(os.environ.get("IFAQ_SERVE_FACTS", "40000"))
+BACKEND = os.environ.get("IFAQ_SERVE_BACKEND", "numpy")
+
+
+def make_service(coalesce: bool) -> AggregateService:
+    return AggregateService(
+        backend=BACKEND,
+        kernel_cache=KernelCache(),
+        coalesce=coalesce,
+        fuse=coalesce,
+    )
+
+
+async def run_stream(service: AggregateService, requests_per_round: list) -> dict:
+    """Drive ``ROUNDS`` waves of concurrent clients; return timing + results."""
+    started = time.perf_counter()
+    responses = []
+    for wave in requests_per_round:
+        responses.extend(await service.submit_many(wave))
+    seconds = time.perf_counter() - started
+    total = sum(len(w) for w in requests_per_round)
+    return {
+        "requests": total,
+        "seconds": round(seconds, 6),
+        "requests_per_second": round(total / seconds, 2) if seconds else None,
+        "responses": responses,
+    }
+
+
+async def scenario(name: str, ds, waves_for) -> dict:
+    """Run one request stream through the naive and coalesced services."""
+    out: dict = {"name": name}
+    reference: list | None = None
+    for mode, coalesce in (("naive", False), ("coalesced", True)):
+        async with make_service(coalesce) as service:
+            service.register_database("star", ds.db)
+            # Warm plans + kernels + column store once so both modes
+            # measure steady-state serving, not first-compile cost.
+            await service.submit_many(waves_for()[0])
+            service.stats.reset()
+            timing = await run_stream(service, waves_for())
+            responses = timing.pop("responses")
+            timing["stats"] = service.stats_dict()["service"]
+            timing["kernel_cache"] = service.stats_dict()["kernel_cache"]
+            out[mode] = timing
+            if reference is None:
+                reference = responses
+            else:
+                out["modes_agree"] = responses == reference
+    out["speedup"] = round(out["naive"]["seconds"] / out["coalesced"]["seconds"], 3)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_serving.json")
+    args = parser.parse_args(argv)
+
+    # Dimension attributes only (fact_attrs=0): serving-shaped group-bys
+    # have low-cardinality keys, so responses are small and the cost is
+    # the data scan the coalescer is supposed to amortize.
+    ds = star_schema(
+        n_facts=FACTS, n_dims=3, dim_size=50, attrs_per_dim=2, fact_attrs=0, seed=7
+    )
+    batch = variance_batch(ds.label)
+    tree = build_join_tree(
+        ds.db.schema(), ds.query.relations, stats=dict(ds.db.statistics())
+    )
+    hot_feature = ds.features[0]
+
+    def same_fingerprint_waves():
+        return [
+            [GroupByRequest("star", batch, hot_feature) for _ in range(CLIENTS)]
+            for _ in range(ROUNDS)
+        ]
+
+    # One structural δ condition: coalesces by (fingerprint, predicate)
+    # identity, but defeats the column store's predicate-free eval memo,
+    # so every naive run pays the full masked value pass.
+    delta = {"Fact": [Condition(ds.label, ">", 0.0)]}
+
+    def filtered_waves():
+        return [
+            [
+                GroupByRequest("star", batch, hot_feature, predicates=delta)
+                for _ in range(CLIENTS)
+            ]
+            for _ in range(ROUNDS)
+        ]
+
+    def fanout_waves():
+        return [
+            [
+                GroupByRequest("star", batch, ds.features[c % len(ds.features)])
+                for c in range(CLIENTS)
+            ]
+            for _ in range(ROUNDS)
+        ]
+
+    async def drive():
+        report = {
+            "benchmark": "serving-throughput",
+            "version": __version__,
+            "backend": BACKEND,
+            "clients": CLIENTS,
+            "rounds": ROUNDS,
+            "facts": FACTS,
+            "features": len(ds.features),
+            "scenarios": [],
+        }
+        hot = await scenario("same-fingerprint", ds, same_fingerprint_waves)
+        report["scenarios"].append(hot)
+        report["scenarios"].append(await scenario("filtered", ds, filtered_waves))
+        report["scenarios"].append(await scenario("fanout", ds, fanout_waves))
+
+        # Bit-identity gate: every coalesced response equals a
+        # sequential single-shot execution of the same kernel.
+        sequential = compute_groupby(
+            ds.db, tree, batch, hot_feature,
+            backend=BACKEND, kernel_cache=KernelCache(),
+        )
+        async with make_service(coalesce=True) as service:
+            service.register_database("star", ds.db)
+            served = await service.submit_many(
+                GroupByRequest("star", batch, hot_feature) for _ in range(CLIENTS)
+            )
+        # The gate covers every scenario: coalesced must equal naive on
+        # all three streams, and the hot fingerprint must equal a
+        # sequential single-shot execution.
+        report["bit_identical"] = all(r == sequential for r in served) and all(
+            s.get("modes_agree", False) for s in report["scenarios"]
+        )
+        report["coalescing_speedup"] = hot["speedup"]
+        return report
+
+    report = asyncio.run(drive())
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    for s in report["scenarios"]:
+        print(
+            f"{s['name']:>18s}: naive {s['naive']['requests_per_second']:>9} req/s, "
+            f"coalesced {s['coalesced']['requests_per_second']:>9} req/s "
+            f"({s['speedup']}x, modes agree: {s.get('modes_agree')})"
+        )
+    print(
+        f"bit-identical to sequential: {report['bit_identical']}; "
+        f"coalescing speedup {report['coalescing_speedup']}x; wrote {args.out}"
+    )
+    return 0 if report["bit_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Tour of the async aggregate-serving layer.
+
+Walks the end-to-end serving path (see docs/SERVING.md):
+
+1. register a database with the service (join tree planned once),
+2. fire one plain covar-batch request and one group-by request,
+3. fire 12 *concurrent identical* group-by requests and watch them
+   coalesce into a single kernel run,
+4. fire one group-by per feature concurrently and watch the queued
+   requests fuse into one MultiBatchPlan execution,
+5. read the coalesce/cache/memory stats report,
+6. evict the database (dropping its shared column store).
+
+Run:  PYTHONPATH=src python examples/serving_tour.py
+"""
+
+import asyncio
+
+from repro import AggregateRequest, AggregateService, GroupByRequest, KernelCache
+from repro.aggregates import covar_batch, variance_batch
+from repro.data import star_schema
+
+ds = star_schema(
+    n_facts=30_000, n_dims=3, dim_size=40, attrs_per_dim=2, fact_attrs=0, seed=23
+)
+
+
+async def main() -> None:
+    async with AggregateService(backend="numpy", kernel_cache=KernelCache()) as service:
+        # -- 1. registration ------------------------------------------------
+        service.add_hooks(
+            on_register=lambda name, db: print(f"registered {name!r} "
+                                               f"({len(db.relations)} relations)")
+        )
+        service.register_database("star", ds.db)
+
+        # -- 2. one plain batch + one group-by ------------------------------
+        covar = await service.submit(
+            AggregateRequest("star", covar_batch(ds.features[:2], label=ds.label))
+        )
+        print(f"covar batch: {len(covar)} aggregates, "
+              f"count = {covar['agg_count']:.0f}")
+
+        vbatch = variance_batch(ds.label)
+        groups = await service.submit(GroupByRequest("star", vbatch, ds.features[0]))
+        print(f"group-by {ds.features[0]}: {len(groups)} groups")
+
+        # -- 3. concurrent identical requests coalesce ----------------------
+        before = service.stats.runs
+        results = await service.submit_many(
+            GroupByRequest("star", vbatch, ds.features[1]) for _ in range(12)
+        )
+        assert all(r == results[0] for r in results)  # one fan-out, same answer
+        print(f"12 concurrent identical requests -> "
+              f"{service.stats.runs - before} kernel run(s), "
+              f"{service.stats.coalesced} coalesced so far")
+
+        # -- 4. mixed group-bys fuse into one MultiBatchPlan ----------------
+        before = service.stats.runs
+        per_feature = await service.submit_many(
+            GroupByRequest("star", vbatch, f) for f in ds.features
+        )
+        print(f"{len(ds.features)} different-feature group-bys -> "
+              f"{service.stats.runs - before} fused run(s) "
+              f"({service.stats.fused_requests} requests fused)")
+        assert len(per_feature) == len(ds.features)
+
+        # -- 5. the stats report --------------------------------------------
+        report = service.stats_dict()
+        svc, cache = report["service"], report["kernel_cache"]
+        store = report["databases"]["star"]["column_store"]
+        print(f"coalesce rate {svc['coalesce_rate']:.0%}, "
+              f"kernel cache {cache['hits']} hit / {cache['misses']} miss, "
+              f"column store ~{store['approx_bytes'] / 1e6:.1f} MB")
+
+        # -- 6. eviction ----------------------------------------------------
+        service.evict_database("star")
+        print(f"evicted; registered databases: {service.databases() or '(none)'}")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -15,7 +15,9 @@ Schleich, Ghita and Olteanu.  The package provides:
 * :mod:`repro.db` — the relational substrate,
 * :mod:`repro.ml` — linear regression / regression trees on top of IFAQ,
   plus materialize-then-learn baselines,
-* :mod:`repro.data` — synthetic Retailer and Favorita generators.
+* :mod:`repro.data` — synthetic Retailer and Favorita generators,
+* :mod:`repro.serving` — the asyncio aggregate-serving layer with
+  per-fingerprint request coalescing.
 
 The commonly used entry points are re-exported here::
 
@@ -52,8 +54,15 @@ from repro.backend import (
 )
 from repro.compiler import CompilationArtifacts, IFAQCompiler
 from repro.db import Database, JoinQuery, Relation, RelationSchema
+from repro.serving import (
+    AggregateRequest,
+    AggregateService,
+    GroupByRequest,
+    MultiGroupByRequest,
+    ServiceStats,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 #: lazily imported ML entry points (numpy-backed)
 _LAZY_ML = {
@@ -66,14 +75,15 @@ _LAZY_ML = {
 }
 
 __all__ = [
-    "AggregateBatch", "AggregateSpec", "ColumnStore", "CompilationArtifacts",
-    "CppKernelBackend", "Database", "EngineBackend", "ExecutionBackend",
-    "IFAQCompiler", "JoinQuery", "Kernel", "KernelCache", "LayoutOptions",
-    "MultiBatchPlan", "NumpyBackend", "PythonKernelBackend", "Relation",
-    "RelationSchema", "ShardedBackend", "__version__", "available_backends",
-    "build_join_tree", "column_store", "compute_groupby",
-    "compute_groupby_many", "covar_batch", "default_kernel_cache",
-    "get_backend", "register_backend",
+    "AggregateBatch", "AggregateRequest", "AggregateService", "AggregateSpec",
+    "ColumnStore", "CompilationArtifacts", "CppKernelBackend", "Database",
+    "EngineBackend", "ExecutionBackend", "GroupByRequest", "IFAQCompiler",
+    "JoinQuery", "Kernel", "KernelCache", "LayoutOptions", "MultiBatchPlan",
+    "MultiGroupByRequest", "NumpyBackend", "PythonKernelBackend", "Relation",
+    "RelationSchema", "ServiceStats", "ShardedBackend", "__version__",
+    "available_backends", "build_join_tree", "column_store",
+    "compute_groupby", "compute_groupby_many", "covar_batch",
+    "default_kernel_cache", "get_backend", "register_backend",
     *sorted(_LAZY_ML),
 ]
 

@@ -55,6 +55,8 @@ from repro.backend.column_store import (
     clear_column_stores,
     column_store,
     column_store_stats,
+    evict_column_store,
+    peek_column_store,
     reset_column_store_stats,
 )
 from repro.backend.numpy_backend import NumpyBackend, PreparedLayout
@@ -84,8 +86,9 @@ __all__ = [
     "PythonKernelBackend", "ShardedBackend", "available_backends",
     "build_batch_plan", "clear_column_stores", "clear_kernel_sources",
     "column_store", "column_store_stats", "default_kernel_cache",
-    "get_backend", "kernel_source_dir", "load_kernel_source",
-    "merge_group_results", "merge_results", "merge_vectors", "prepare_data",
+    "evict_column_store", "get_backend", "kernel_source_dir",
+    "load_kernel_source", "merge_group_results", "merge_results",
+    "merge_vectors", "peek_column_store", "prepare_data",
     "register_backend", "reset_column_store_stats", "shard_database",
     "store_kernel_source", "tree_from_plan", "unregister_backend",
 ]

@@ -36,6 +36,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: lookups that waited on another thread's in-progress compile of
+    #: the same fingerprint instead of compiling a duplicate kernel
+    coalesced_compiles: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -47,6 +50,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "coalesced_compiles": self.coalesced_compiles,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -55,15 +59,22 @@ class CacheStats:
 class KernelCache:
     """An LRU cache of compiled kernels.
 
-    Thread-safe: the sharded executor may resolve kernels from worker
-    threads.  ``capacity`` bounds memory held by generated modules and
-    C++ binary handles.
+    Thread-safe: the sharded executor and the serving layer may resolve
+    kernels from worker threads.  ``capacity`` bounds memory held by
+    generated modules and C++ binary handles.
+
+    Compilation is *single-flight*: when several threads miss on the
+    same fingerprint concurrently, exactly one compiles while the
+    others wait on its result — a fan-in of identical serving requests
+    never compiles (or runs g++ on) the same kernel twice.
     """
 
     capacity: int = 64
     stats: CacheStats = field(default_factory=CacheStats)
     _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    #: fingerprints currently being compiled → event set on completion
+    _pending: dict = field(default_factory=dict, repr=False)
 
     def get_or_compile(
         self, backend: ExecutionBackend, plan: BatchPlan | MultiBatchPlan, layout: LayoutOptions
@@ -76,26 +87,43 @@ class KernelCache:
         kernels via the backend's ``compile_multi``.
         """
         key = plan.fingerprint(layout, backend.kernel_key)
-        with self._lock:
-            kernel = self._entries.get(key)
-            if kernel is not None:
-                self._entries.move_to_end(key)
-                self.stats.hits += 1
-                return kernel
-            self.stats.misses += 1
+        while True:
+            with self._lock:
+                kernel = self._entries.get(key)
+                if kernel is not None:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return kernel
+                in_progress = self._pending.get(key)
+                if in_progress is None:
+                    self._pending[key] = threading.Event()
+                    self.stats.misses += 1
+                    break
+                self.stats.coalesced_compiles += 1
+            # Another thread is compiling this fingerprint; wait and
+            # re-check.  If its compile failed, the loop retries as the
+            # new builder.
+            in_progress.wait()
         # Compile outside the lock: C++ kernels take seconds and must
-        # not serialize unrelated cache traffic.
-        if isinstance(plan, MultiBatchPlan):
-            members = [self.get_or_compile(backend, p, layout) for p in plan.plans]
-            kernel = backend.compile_multi(plan, layout, members)
-        else:
-            kernel = backend.compile_plan(plan, layout)
-        with self._lock:
-            self._entries[key] = kernel
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
-                self.stats.evictions += 1
+        # not serialize unrelated cache traffic.  Concurrent misses on
+        # *this* key wait on the pending event instead of recompiling.
+        try:
+            if isinstance(plan, MultiBatchPlan):
+                members = [self.get_or_compile(backend, p, layout) for p in plan.plans]
+                kernel = backend.compile_multi(plan, layout, members)
+            else:
+                kernel = backend.compile_plan(plan, layout)
+            with self._lock:
+                self._entries[key] = kernel
+                self._entries.move_to_end(key)
+                while len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+                    self.stats.evictions += 1
+        finally:
+            with self._lock:
+                event = self._pending.pop(key, None)
+            if event is not None:
+                event.set()
         return kernel
 
     def lookup(self, fingerprint: str) -> Kernel | None:

@@ -19,12 +19,26 @@ group-by plan during tree fitting, every shard of a sharded execution,
 every plan of a fused multi-plan batch — and all of them share one
 columnar copy instead of rebuilding per (kernel, database) pairs.
 
-Stores are cached process-wide keyed by database identity with a weak
-reference guard (id reuse is detected, and the store is evicted when
-the database is collected).  Construction is lazy: only the relations,
-codings and columns a plan actually touches are materialized.  Like
-every prepared representation here, the store assumes relations are not
-mutated in place between executions.
+**The store-sharing contract** (pinned by
+``tests/backend/test_column_store.py`` and relied on by the sharded
+executor, the fused multi-plan path and the serving layer):
+
+1. *One store per live database* — :func:`column_store` returns the
+   same instance for the same database object, process-wide, keyed by
+   identity with a weak-reference guard (id reuse is detected; the
+   store is evicted when the database is collected, and eagerly via
+   :func:`evict_column_store`).
+2. *Immutability* — relations must not be mutated in place while a
+   store (or any prepared representation) exists for their database;
+   registration with the serving layer states the same contract.
+3. *Renumbering invariance* — the dense codes handed out by the
+   codings carry no semantic order; every downstream fold
+   (``bincount`` views, presence masks, parent gathers) must be
+   invariant under code renumbering, so the vectorized (sorted-order)
+   and loop (first-seen) codings are interchangeable.
+4. *Lazy construction* — only the relations, codings and columns a
+   plan actually touches are materialized; :meth:`ColumnStore.stats`
+   reports the resulting byte footprint for eviction policies.
 """
 
 from __future__ import annotations
@@ -306,6 +320,56 @@ class ColumnStore:
             self._column_codings[(relation, attr)] = coding
             return coding
 
+    # -- size accounting ---------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Approximate memory footprint of the store's memo tables.
+
+        ``ndarray_bytes`` sums ``nbytes`` over every materialized
+        column, multiplicity vector, key/parent/value coding and cached
+        eval-array; ``record_rows`` counts the Python record-list rows
+        (shared with the database, so they are reported but not priced
+        into the byte estimate).  This is the measurement half of the
+        ROADMAP eviction-policy item: long-lived serving processes can
+        watch ``approx_bytes`` per database and evict stores (see
+        :func:`evict_column_store`) before memos grow unbounded.
+        """
+
+        def _nbytes(obj) -> int:
+            if isinstance(obj, np.ndarray):
+                return obj.nbytes
+            if isinstance(obj, (tuple, list)):
+                return sum(_nbytes(o) for o in obj)
+            if isinstance(obj, dict):
+                return sum(_nbytes(o) for o in obj.values())
+            return 0
+
+        with self._lock:
+            ndarray_bytes = 0
+            for arr in self._mult.values():
+                ndarray_bytes += arr.nbytes
+            for table in (self._float_cols, self._raw_cols, self._parent_codes):
+                for arr in table.values():
+                    ndarray_bytes += arr.nbytes
+            for coding in self._key_codings.values():
+                ndarray_bytes += coding.codes.nbytes + coding.key_row.nbytes
+                if coding.values is not None:
+                    ndarray_bytes += coding.values.nbytes
+            for _keys, codes in self._column_codings.values():
+                ndarray_bytes += codes.nbytes
+            eval_bytes = _nbytes(self.eval_cache)
+            return {
+                "relations": len(self._records),
+                "record_rows": sum(len(r) for r in self._records.values()),
+                "key_codings": len(self._key_codings),
+                "parent_code_maps": len(self._parent_codes),
+                "column_codings": len(self._column_codings),
+                "eval_entries": len(self.eval_cache),
+                "ndarray_bytes": int(ndarray_bytes),
+                "eval_bytes": int(eval_bytes),
+                "approx_bytes": int(ndarray_bytes + eval_bytes),
+            }
+
     # -- predicate masks ---------------------------------------------------
 
     def predicate_masks(
@@ -406,6 +470,39 @@ def _evict(key: int) -> None:
         return
     with lock:
         stores.pop(key, None)
+
+
+def peek_column_store(db: Database) -> ColumnStore | None:
+    """The cached store for ``db`` if one exists — never builds.
+
+    Monitoring paths (the serving layer's per-database size report)
+    use this so asking "how big is the store?" does not itself
+    materialize a store for databases that only ever ran on
+    non-columnar backends.
+    """
+    with _STORES_LOCK:
+        entry = _STORES.get(id(db))
+        if entry is not None:
+            db_ref, store = entry
+            if db_ref() is db:
+                return store
+    return None
+
+
+def evict_column_store(db: Database) -> bool:
+    """Drop the cached store for ``db`` (if any); returns whether one existed.
+
+    The registry already evicts stores when their database is
+    collected; this is the eager variant for serving processes that
+    unregister a database while still holding other references to it.
+    """
+    key = id(db)
+    with _STORES_LOCK:
+        entry = _STORES.get(key)
+        if entry is None or entry[0]() is not db:
+            return False
+        del _STORES[key]
+        return True
 
 
 def column_store_stats() -> StoreStats:

@@ -27,6 +27,19 @@ Two execution paths:
 
 Per-shard wall-clock timings are recorded on ``last_shard_seconds`` for
 the benchmark reports.
+
+**The shard bit-identity contract** (pinned by
+``tests/backend/test_parallel.py`` and
+``tests/properties/test_shard_merge.py``): on the block path, the
+block layout is a function of *the data and the kernel's block size
+only* — never of the shard count or thread schedule — and block
+partials are merged left-to-right in canonical block order.  Because
+single-shot execution folds the same blocks in the same order, sharded
+results are **bit-identical** (``==``, not approximately equal) to
+single-shot results for every ``K``.  Backends without the block
+protocol get the sub-database path instead, which guarantees the ring
+merge law but not bit identity (float folds reassociate across shard
+boundaries).
 """
 
 from __future__ import annotations

@@ -6,6 +6,29 @@ relation, which columns each aggregate multiplies at each node, and the
 join-key column positions.  The same plan drives the Python and the C++
 backend, and the data loaders that prepare relation arrays in the
 plan's column order.
+
+**The fingerprint contract** (pinned by ``tests/backend/test_cache.py``
+and relied on by the kernel cache, the on-disk source spill and the
+serving layer's request coalescing):
+
+1. :meth:`BatchPlan.fingerprint` covers *everything the generated code
+   depends on* — tree shape, per-relation column orders, join keys,
+   per-spec owned columns, aggregate names, the group attribute, the
+   layout flags and the backend's kernel key.  Equal fingerprints ⇒
+   byte-identical kernels, so a cached kernel may be substituted for a
+   fresh compile anywhere, including across processes.
+2. δ predicates are **not** part of the fingerprint: they are
+   execution-time arguments, which is what lets one cached group-by
+   kernel serve every tree node / filtered serving request.
+3. :meth:`BatchPlan.scan_fingerprint` drops the group attribute and
+   column orders only: equal scan fingerprints ⇒ the same tree walk
+   multiplying the same columns, so a fused execution may compute the
+   per-row aggregate values once per scan group and fold them under
+   each member's own group coding (the numpy backend's
+   ``run_groupby_many`` sharing).
+4. Any change to a code generator's output for the same plan must bump
+   ``repro.backend.cache.CODEGEN_TAG`` — fingerprints deliberately do
+   not hash the generator version.
 """
 
 from __future__ import annotations

@@ -1,0 +1,43 @@
+"""Async aggregate serving over the compiled-kernel stack.
+
+Layer map::
+
+    requests.py   AggregateRequest / GroupByRequest / MultiGroupByRequest
+                  + predicate_key (the δ half of the coalescing identity)
+    stats.py      ServiceStats / FingerprintStats counters
+    service.py    AggregateService: asyncio front end with per-fingerprint
+                  request coalescing, adaptive group-by fusion, a bounded
+                  worker pool, and database registration/eviction hooks
+
+See ``docs/SERVING.md`` for the end-to-end tour and
+``examples/serving_tour.py`` for a runnable quickstart.
+"""
+
+from repro.serving.requests import (
+    AggregateRequest,
+    GroupByRequest,
+    MultiGroupByRequest,
+    Request,
+    predicate_key,
+)
+from repro.serving.service import (
+    DEFAULT_MAX_FUSE,
+    DEFAULT_SERVICE_WORKERS,
+    AggregateService,
+    DatabaseNotRegistered,
+)
+from repro.serving.stats import FingerprintStats, ServiceStats
+
+__all__ = [
+    "AggregateRequest",
+    "AggregateService",
+    "DEFAULT_MAX_FUSE",
+    "DEFAULT_SERVICE_WORKERS",
+    "DatabaseNotRegistered",
+    "FingerprintStats",
+    "GroupByRequest",
+    "MultiGroupByRequest",
+    "Request",
+    "ServiceStats",
+    "predicate_key",
+]

@@ -1,0 +1,525 @@
+"""The async aggregate-serving layer.
+
+:class:`AggregateService` puts the plan → kernel → cache → backend
+stack behind an asyncio front end, which is what the ROADMAP's
+millions-of-users path needs: many concurrent clients asking for
+aggregates over a handful of registered databases, where most of the
+traffic repeats a small set of plan fingerprints.
+
+The service exploits that repetition twice:
+
+* **Coalescing** — concurrent requests with the same *(database, plan
+  fingerprint, δ predicates)* key execute **once**: the first request
+  creates an in-flight entry, every later arrival (queued *or already
+  running* — databases are immutable between executions, so joining a
+  running execution is safe) awaits the same future, and the single
+  kernel run fans its result back out to all waiters.
+* **Fusion** — queued group-by requests over the same database with
+  the same δ predicates but *different* fingerprints are bundled into
+  one :class:`~repro.backend.plan.MultiBatchPlan` when a worker picks
+  them up, so backends share predicate masks and (for members with
+  equal ``scan_fingerprint``) the bottom-up value pass.  Fusion is
+  load-adaptive: an idle service dispatches immediately with no
+  batching window, a saturated one drains compatible requests in
+  bulk.
+
+Kernel execution is blocking (numpy folds, generated kernels, g++
+binaries), so it is offloaded to a bounded worker pool — a
+``ThreadPoolExecutor`` by default, pluggable via the ``executor``
+parameter for the future process-pool shard work.  Kernel compilation
+goes through the shared :class:`~repro.backend.cache.KernelCache`
+(single-flight, so raced fingerprints compile once) and columnar state
+through the shared per-database
+:class:`~repro.backend.column_store.ColumnStore`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from collections import deque
+from concurrent.futures import Executor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.aggregates.engine import apply_predicates
+from repro.aggregates.join_tree import JoinTreeNode, build_join_tree
+from repro.backend.cache import KernelCache, default_kernel_cache
+from repro.backend.column_store import evict_column_store, peek_column_store
+from repro.backend.layout import LAYOUT_SORTED, LayoutOptions
+from repro.backend.plan import BatchPlan, MultiBatchPlan, build_batch_plan
+from repro.backend.registry import get_backend
+from repro.db.database import Database
+from repro.serving.requests import (
+    AggregateRequest,
+    GroupByRequest,
+    MultiGroupByRequest,
+    Request,
+    predicate_key,
+)
+from repro.serving.stats import ServiceStats
+
+#: Default worker-pool width: one kernel execution per core.
+DEFAULT_SERVICE_WORKERS = max(1, os.cpu_count() or 1)
+
+#: Default ceiling on group-by requests fused into one kernel run.
+DEFAULT_MAX_FUSE = 16
+
+
+class DatabaseNotRegistered(KeyError):
+    """The request names a database the service does not know."""
+
+
+@dataclass
+class _Registration:
+    """One registered database: its join tree and plan memos."""
+
+    name: str
+    db: Database
+    tree: JoinTreeNode
+    #: monotonic per-service registration generation.  Part of the
+    #: coalescing key: after ``register_database(replace=True)`` a new
+    #: request must never join an in-flight execution that is still
+    #: running against the replaced database.
+    generation: int = 0
+    #: shared distinct-key statistics for plan construction
+    key_stats: dict = field(default_factory=dict)
+    #: (batch, group_attr) → BatchPlan;  (batch, group_attrs) → MultiBatchPlan
+    plans: dict = field(default_factory=dict)
+    #: predicate key → δ-filtered Database (plain-batch execution path)
+    filtered_dbs: dict = field(default_factory=dict)
+
+
+@dataclass
+class _Inflight:
+    """One deduplicated unit of work and the waiters attached to it."""
+
+    key: tuple
+    kind: str  # "plain" | "groupby" | "multi"
+    plan: BatchPlan | MultiBatchPlan
+    fingerprint: str
+    registration: _Registration
+    predicates: Any
+    pred_key: tuple
+    future: asyncio.Future
+    enqueued: float
+
+
+def _copy_result(kind: str, result):
+    """A private copy per waiter, so one client mutating its response
+    cannot corrupt another's (values are shared floats — bit-identical)."""
+    if kind == "plain":
+        return dict(result)
+    if kind == "groupby":
+        return {k: list(v) for k, v in result.items()}
+    return {attr: {k: list(v) for k, v in groups.items()} for attr, groups in result.items()}
+
+
+class AggregateService:
+    """Serve aggregate requests over registered databases, coalesced
+    per plan fingerprint.
+
+    Parameters
+    ----------
+    backend:
+        Registered backend name or :class:`ExecutionBackend` instance;
+        resolved once at construction (the ``cpp`` → ``python``
+        toolchain fallback happens here, never per request).
+    kernel_cache:
+        Shared :class:`KernelCache`; defaults to the process-wide one.
+    layout:
+        :class:`LayoutOptions` every kernel is compiled under.
+    max_workers:
+        Concurrent kernel executions (the bounded worker pool).
+    executor:
+        Optional :class:`concurrent.futures.Executor` replacing the
+        internally-owned thread pool — the seam for process-pool
+        execution of spilled kernel sources.
+    coalesce / fuse:
+        Feature switches, mainly for benchmarks measuring the naive
+        per-request path.
+    max_fuse:
+        Ceiling on group-by requests bundled into one fused run.
+    copy_results:
+        When True (default) every waiter gets a private copy of the
+        result, so one client mutating its response cannot corrupt
+        another's.  Trusted read-only clients can turn this off to
+        serve large group dictionaries zero-copy.
+    """
+
+    def __init__(
+        self,
+        backend: Any = "numpy",
+        *,
+        kernel_cache: KernelCache | None = None,
+        layout: LayoutOptions = LAYOUT_SORTED,
+        max_workers: int = DEFAULT_SERVICE_WORKERS,
+        executor: Executor | None = None,
+        coalesce: bool = True,
+        fuse: bool = True,
+        max_fuse: int = DEFAULT_MAX_FUSE,
+        copy_results: bool = True,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if max_fuse < 1:
+            raise ValueError(f"max_fuse must be >= 1, got {max_fuse}")
+        self.backend = get_backend(backend)
+        self.kernel_cache = kernel_cache if kernel_cache is not None else default_kernel_cache()
+        self.layout = layout
+        self.coalesce = coalesce
+        self.fuse = fuse
+        self.max_fuse = max_fuse
+        self.copy_results = copy_results
+        self.stats = ServiceStats()
+        self._own_executor = executor is None
+        self._executor: Executor = (
+            executor
+            if executor is not None
+            else ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix="ifaq-serve"
+            )
+        )
+        self._sem = asyncio.Semaphore(max_workers)
+        self._dbs: dict[str, _Registration] = {}
+        self._generation = 0
+        self._inflight: dict[tuple, _Inflight] = {}
+        self._pending: deque[_Inflight] = deque()
+        self._tasks: set[asyncio.Task] = set()
+        self._register_hooks: list[Callable[[str, Database], None]] = []
+        self._evict_hooks: list[Callable[[str, Database], None]] = []
+        self._closed = False
+
+    # -- database registration / eviction ---------------------------------
+
+    def register_database(
+        self,
+        name: str,
+        db: Database,
+        *,
+        relations: Sequence[str] | None = None,
+        root: str | None = None,
+        replace: bool = False,
+    ) -> None:
+        """Register ``db`` under ``name`` and plan its join tree once.
+
+        ``relations`` restricts the tree to a sub-join (default: every
+        relation); ``root`` pins the tree root (default: the largest
+        relation, the fact table).  Registered databases are assumed
+        immutable while registered — the same contract every prepared
+        layout and column store already relies on.  Registration hooks
+        (:meth:`add_hooks`) fire after the tree is built.
+        """
+        if name in self._dbs and not replace:
+            raise ValueError(
+                f"database {name!r} is already registered; pass replace=True"
+            )
+        tree = build_join_tree(
+            db.schema(),
+            tuple(relations) if relations is not None else tuple(db.relations),
+            root=root,
+            stats=dict(db.statistics()),
+        )
+        self._generation += 1
+        self._dbs[name] = _Registration(
+            name=name, db=db, tree=tree, generation=self._generation
+        )
+        for hook in self._register_hooks:
+            hook(name, db)
+
+    def evict_database(self, name: str, *, drop_column_store: bool = True) -> bool:
+        """Unregister ``name``; returns whether it was registered.
+
+        Drops the registration's plan memos and (by default) the
+        database's shared :class:`ColumnStore`, so a long-lived service
+        rotating databases does not accumulate dead columnar copies —
+        the eager half of the ROADMAP eviction item.  Requests already
+        in flight finish against the evicted database; new submissions
+        raise :class:`DatabaseNotRegistered`.  Eviction hooks fire
+        after the store is dropped.
+        """
+        reg = self._dbs.pop(name, None)
+        if reg is None:
+            return False
+        if drop_column_store:
+            evict_column_store(reg.db)
+            for filtered in reg.filtered_dbs.values():
+                evict_column_store(filtered)
+        for hook in self._evict_hooks:
+            hook(name, reg.db)
+        return True
+
+    def add_hooks(
+        self,
+        on_register: Callable[[str, Database], None] | None = None,
+        on_evict: Callable[[str, Database], None] | None = None,
+    ) -> None:
+        """Attach observers for registration/eviction (cache warmers,
+        metrics exporters, store pre-builders)."""
+        if on_register is not None:
+            self._register_hooks.append(on_register)
+        if on_evict is not None:
+            self._evict_hooks.append(on_evict)
+
+    def databases(self) -> tuple[str, ...]:
+        return tuple(self._dbs)
+
+    # -- request submission -------------------------------------------------
+
+    async def submit(self, request: Request):
+        """Answer one request; concurrent identical requests coalesce.
+
+        Returns (a private copy of) the backend result:
+        ``{name: value}`` for plain batches, ``{group: [values]}`` for
+        group-bys, ``{attr: {group: [values]}}`` for multi-group-bys.
+        Exceptions raised by planning or execution propagate to every
+        coalesced waiter.
+        """
+        if self._closed:
+            raise RuntimeError("AggregateService is closed")
+        reg = self._dbs.get(request.database)
+        if reg is None:
+            raise DatabaseNotRegistered(
+                f"database {request.database!r} is not registered "
+                f"(registered: {', '.join(self._dbs) or 'none'})"
+            )
+        kind, plan = self._plan_for(reg, request)
+        fingerprint = plan.fingerprint(self.layout, self.backend.kernel_key)
+        pred_key = predicate_key(request.predicates)
+        # The registration generation keeps requests arriving after a
+        # replace/evict+re-register from coalescing onto executions
+        # still running against the previous database.
+        key = (reg.name, reg.generation, fingerprint, pred_key)
+
+        self.stats.requests += 1
+        fp_stats = self.stats.fingerprint(fingerprint)
+        fp_stats.requests += 1
+
+        if self.coalesce:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                self.stats.coalesced += 1
+                fp_stats.coalesced += 1
+                result = await asyncio.shield(existing.future)
+                return _copy_result(kind, result) if self.copy_results else result
+
+        loop = asyncio.get_running_loop()
+        entry = _Inflight(
+            key=key,
+            kind=kind,
+            plan=plan,
+            fingerprint=fingerprint,
+            registration=reg,
+            predicates=request.predicates,
+            pred_key=pred_key,
+            future=loop.create_future(),
+            enqueued=loop.time(),
+        )
+        if self.coalesce:
+            self._inflight[key] = entry
+        self._pending.append(entry)
+        task = asyncio.ensure_future(self._dispatch())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        result = await asyncio.shield(entry.future)
+        return _copy_result(kind, result) if self.copy_results else result
+
+    async def submit_many(self, requests: Iterable[Request]) -> list:
+        """Submit requests concurrently and gather their results in order."""
+        return list(await asyncio.gather(*(self.submit(r) for r in requests)))
+
+    # -- planning -----------------------------------------------------------
+
+    def _plan_for(self, reg: _Registration, request: Request):
+        """Request → (kind, plan), memoized per registration.
+
+        Plans (and the distinct-key statistics ordering their children)
+        are built once per (batch, group attribute) and reused by every
+        later request, so steady-state submission cost is one
+        fingerprint hash, not a planning pass.
+        """
+        if isinstance(request, AggregateRequest):
+            return "plain", self._single_plan(reg, request.batch, None)
+        if isinstance(request, GroupByRequest):
+            return "groupby", self._single_plan(reg, request.batch, request.group_attr)
+        if isinstance(request, MultiGroupByRequest):
+            memo_key = (request.batch, request.group_attrs)
+            plan = reg.plans.get(memo_key)
+            if plan is None:
+                plan = MultiBatchPlan(
+                    [
+                        self._single_plan(reg, request.batch, attr)
+                        for attr in request.group_attrs
+                    ]
+                )
+                reg.plans[memo_key] = plan
+            return "multi", plan
+        raise TypeError(
+            f"unsupported request type {type(request).__name__}; expected "
+            "AggregateRequest, GroupByRequest or MultiGroupByRequest"
+        )
+
+    def _single_plan(
+        self, reg: _Registration, batch, group_attr: str | None
+    ) -> BatchPlan:
+        memo_key = (batch, group_attr)
+        plan = reg.plans.get(memo_key)
+        if plan is None:
+            plan = build_batch_plan(
+                reg.db,
+                reg.tree,
+                batch,
+                group_attr=group_attr,
+                key_stats=reg.key_stats,
+            )
+            reg.plans[memo_key] = plan
+        return plan
+
+    # -- dispatch -----------------------------------------------------------
+
+    async def _dispatch(self) -> None:
+        """Run one unit of queued work under the worker-pool bound."""
+        async with self._sem:
+            batch = self._take_batch()
+            if not batch:
+                return  # an earlier dispatcher drained our entry into its fused run
+            loop = asyncio.get_running_loop()
+            now = loop.time()
+            for entry in batch:
+                self.stats.record_queue_latency(now - entry.enqueued)
+            try:
+                if len(batch) == 1:
+                    entry = batch[0]
+                    results = [
+                        await loop.run_in_executor(
+                            self._executor, self._execute_one, entry
+                        )
+                    ]
+                    self.stats.fingerprint(entry.fingerprint).runs += 1
+                else:
+                    mplan = MultiBatchPlan([entry.plan for entry in batch])
+                    results = await loop.run_in_executor(
+                        self._executor, self._execute_fused, mplan, batch
+                    )
+                    self.stats.fused_runs += 1
+                    self.stats.fused_requests += len(batch)
+                    # Fused work is attributed to the member request
+                    # fingerprints only: every drained combination has
+                    # its own MultiBatchPlan fingerprint, and counting
+                    # those would grow per_fingerprint without bound.
+                    for entry in batch:
+                        self.stats.fingerprint(entry.fingerprint).fused += 1
+                self.stats.runs += 1
+            except Exception as exc:  # noqa: BLE001 — fan the failure out
+                for entry in batch:
+                    if not entry.future.done():
+                        entry.future.set_exception(exc)
+                self.stats.errors += len(batch)
+            else:
+                for entry, result in zip(batch, results):
+                    if not entry.future.done():
+                        entry.future.set_result(result)
+                self.stats.completed += len(batch)
+            finally:
+                for entry in batch:
+                    self._inflight.pop(entry.key, None)
+
+    def _take_batch(self) -> list[_Inflight]:
+        """Pop the oldest pending entry plus every fusable peer.
+
+        Fusable: queued single group-by entries over the same
+        registration with the same δ predicates (fingerprints already
+        differ — identical ones coalesced at submit).  Under load this
+        drains whole bursts into one :class:`MultiBatchPlan` run; when
+        idle a batch is just the one entry, with zero added latency.
+        """
+        if not self._pending:
+            return []
+        first = self._pending.popleft()
+        batch = [first]
+        if self.fuse and first.kind == "groupby":
+            keep: deque[_Inflight] = deque()
+            for entry in self._pending:
+                if (
+                    len(batch) < self.max_fuse
+                    and entry.kind == "groupby"
+                    and entry.registration is first.registration
+                    and entry.pred_key == first.pred_key
+                ):
+                    batch.append(entry)
+                else:
+                    keep.append(entry)
+            self._pending = keep
+        return batch
+
+    # -- blocking execution (worker threads) --------------------------------
+
+    def _execute_one(self, entry: _Inflight):
+        kernel = self.kernel_cache.get_or_compile(self.backend, entry.plan, self.layout)
+        reg = entry.registration
+        if entry.kind == "plain":
+            # execute() takes no predicates: fold δ into the data once
+            # (record-local, so equivalent to applying them in-scan).
+            # The filtered database is memoized per predicate key so a
+            # stream of equal-δ plain requests reuses one filtered copy
+            # — and, on columnar backends, one ColumnStore — instead of
+            # rebuilding per request.
+            db = reg.db
+            if entry.predicates:
+                db = reg.filtered_dbs.get(entry.pred_key)
+                if db is None:
+                    db = apply_predicates(reg.db, entry.predicates)
+                    while len(reg.filtered_dbs) >= 32:  # bound the memo
+                        try:  # worker threads race here; losing is benign
+                            old = reg.filtered_dbs.pop(next(iter(reg.filtered_dbs)))
+                        except (KeyError, StopIteration):
+                            break
+                        evict_column_store(old)
+                    reg.filtered_dbs[entry.pred_key] = db
+            return self.backend.execute(kernel, db)
+        if entry.kind == "groupby":
+            return self.backend.run_groupby(kernel, reg.db, entry.predicates)
+        results = self.backend.run_groupby_many(kernel, reg.db, entry.predicates)
+        return dict(zip(entry.plan.group_attr, results))
+
+    def _execute_fused(self, mplan: MultiBatchPlan, batch: list[_Inflight]) -> list:
+        kernel = self.kernel_cache.get_or_compile(self.backend, mplan, self.layout)
+        reg = batch[0].registration
+        return self.backend.run_groupby_many(kernel, reg.db, batch[0].predicates)
+
+    # -- reporting / lifecycle ----------------------------------------------
+
+    def stats_dict(self) -> dict:
+        """One JSON-friendly report: service counters, kernel-cache
+        counters, and per-database column-store size estimates."""
+        databases = {}
+        for name, reg in self._dbs.items():
+            store = peek_column_store(reg.db)
+            databases[name] = {
+                "relations": len(reg.db.relations),
+                "plans": len(reg.plans),
+                "column_store": store.stats() if store is not None else None,
+            }
+        return {
+            "service": self.stats.as_dict(),
+            "kernel_cache": self.kernel_cache.stats.as_dict(),
+            "databases": databases,
+        }
+
+    async def drain(self) -> None:
+        """Wait until every queued and running request has resolved."""
+        while self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+
+    async def close(self) -> None:
+        """Drain in-flight work and release the worker pool."""
+        self._closed = True
+        await self.drain()
+        if self._own_executor:
+            self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "AggregateService":
+        return self
+
+    async def __aexit__(self, *_exc) -> None:
+        await self.close()

@@ -1,0 +1,103 @@
+"""Serving-layer counters: coalescing, fusion, queue latency, memory.
+
+:class:`ServiceStats` is owned by one :class:`~repro.serving.service.
+AggregateService` and mutated only from its event loop, so the counters
+need no locking.  ``as_dict`` flattens everything — including the
+kernel cache's hit/miss counters and each registered database's
+column-store byte estimate — into one JSON-friendly report, which is
+what the serving benchmark emits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FingerprintStats:
+    """Per-plan-fingerprint request accounting."""
+
+    requests: int = 0
+    #: requests answered by an execution another request started
+    coalesced: int = 0
+    #: requests executed as members of a fused multi-plan kernel
+    fused: int = 0
+    #: kernel executions actually performed for this fingerprint
+    runs: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "requests": self.requests,
+            "coalesced": self.coalesced,
+            "fused": self.fused,
+            "runs": self.runs,
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters for one :class:`AggregateService`."""
+
+    #: requests submitted
+    requests: int = 0
+    #: requests answered successfully
+    completed: int = 0
+    #: requests answered with an exception
+    errors: int = 0
+    #: requests that piggybacked on an in-flight execution of the same
+    #: (database, fingerprint, predicates) key instead of running
+    coalesced: int = 0
+    #: group-by requests executed as members of a fused multi-plan run
+    fused_requests: int = 0
+    #: kernel executions performed (every coalesced/fused request above
+    #: is a request *not* counted here — the whole point)
+    runs: int = 0
+    #: runs that executed a fused MultiBatchPlan bundle
+    fused_runs: int = 0
+    #: seconds requests spent queued before their execution started
+    queue_seconds_total: float = 0.0
+    queue_seconds_max: float = 0.0
+    #: dispatch-side kernel-cache hits observed by the service
+    per_fingerprint: dict[str, FingerprintStats] = field(default_factory=dict)
+
+    def fingerprint(self, fp: str) -> FingerprintStats:
+        stats = self.per_fingerprint.get(fp)
+        if stats is None:
+            stats = self.per_fingerprint[fp] = FingerprintStats()
+        return stats
+
+    @property
+    def coalesce_rate(self) -> float:
+        """Fraction of requests that never paid for their own kernel run."""
+        if not self.requests:
+            return 0.0
+        return (self.coalesced + max(0, self.fused_requests - self.fused_runs)) / self.requests
+
+    def reset(self) -> None:
+        """Zero every counter (benchmarks separating warmup from measurement)."""
+        self.__init__()
+
+    def record_queue_latency(self, seconds: float) -> None:
+        self.queue_seconds_total += seconds
+        self.queue_seconds_max = max(self.queue_seconds_max, seconds)
+
+    def as_dict(self) -> dict:
+        dispatched = self.completed + self.errors
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "errors": self.errors,
+            "coalesced": self.coalesced,
+            "fused_requests": self.fused_requests,
+            "runs": self.runs,
+            "fused_runs": self.fused_runs,
+            "coalesce_rate": round(self.coalesce_rate, 4),
+            "queue_seconds_total": round(self.queue_seconds_total, 6),
+            "queue_seconds_max": round(self.queue_seconds_max, 6),
+            "queue_seconds_mean": round(
+                self.queue_seconds_total / dispatched, 6
+            ) if dispatched else 0.0,
+            "per_fingerprint": {
+                fp: s.as_dict() for fp, s in self.per_fingerprint.items()
+            },
+        }

@@ -1,7 +1,10 @@
 """Kernel cache: fingerprints, hit/miss accounting, compile-once identity,
-cross-process source persistence."""
+single-flight concurrent compiles, cross-process source persistence."""
 
 import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
 
 from repro.aggregates import build_join_tree, covar_batch
 from repro.backend import (
@@ -96,6 +99,74 @@ class TestKernelCache:
         cache.clear()
         assert len(cache) == 0
         assert cache.stats.misses == 0
+
+
+class SlowCountingBackend(CountingBackend):
+    """Compilation takes long enough that racers genuinely overlap."""
+
+    def compile_plan(self, plan, layout):
+        time.sleep(0.05)
+        return super().compile_plan(plan, layout)
+
+
+class TestSingleFlightCompilation:
+    """Racing get_or_compile on one fingerprint compiles exactly once:
+    the first thread builds, the rest wait on its result (the serving
+    layer fans identical requests into the cache from worker threads)."""
+
+    def test_same_fingerprint_raced_compiles_once(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        cache = KernelCache()
+        backend = SlowCountingBackend()
+        barrier = threading.Barrier(8)
+
+        def race():
+            barrier.wait()
+            return cache.get_or_compile(backend, plan, LAYOUT_SORTED)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            kernels = [f.result() for f in [pool.submit(race) for _ in range(8)]]
+
+        assert backend.compile_calls == 1
+        assert all(k is kernels[0] for k in kernels)
+        assert cache.stats.misses == 1
+        # The 7 non-builders either waited on the in-progress compile
+        # or arrived after it finished; none compiled.
+        assert cache.stats.hits + cache.stats.coalesced_compiles >= 7
+
+    def test_failed_compile_releases_waiters(self, int_star_db, int_star_query):
+        plan = make_plan(int_star_db, int_star_query)
+        cache = KernelCache()
+
+        class FlakyBackend(SlowCountingBackend):
+            def compile_plan(self, plan, layout):
+                if self.compile_calls == 0:
+                    self.compile_calls += 1
+                    time.sleep(0.02)
+                    raise RuntimeError("first compile fails")
+                return super().compile_plan(plan, layout)
+
+        backend = FlakyBackend()
+        barrier = threading.Barrier(4)
+        outcomes = []
+
+        def race():
+            barrier.wait()
+            try:
+                return cache.get_or_compile(backend, plan, LAYOUT_SORTED)
+            except RuntimeError as exc:
+                return exc
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            outcomes = [f.result() for f in [pool.submit(race) for _ in range(4)]]
+
+        # The failing builder raised; a waiter retried as the new
+        # builder and succeeded, so no thread deadlocked.
+        errors = [o for o in outcomes if isinstance(o, RuntimeError)]
+        kernels = [o for o in outcomes if not isinstance(o, RuntimeError)]
+        assert len(errors) == 1
+        assert kernels and all(k is kernels[0] for k in kernels)
+        assert cache.lookup(plan.fingerprint(LAYOUT_SORTED, backend.kernel_key)) is kernels[0]
 
 
 class TestSourcePersistence:

@@ -96,6 +96,52 @@ class TestKeyCodings:
         assert coding.n_keys == 2
 
 
+class TestStats:
+    def test_stats_track_materialized_memos(self):
+        db = _db()
+        store = column_store(db)
+        empty = store.stats()
+        assert empty["relations"] == 0
+        assert empty["approx_bytes"] == 0
+
+        store.mult("F")
+        store.float_col("F", "y")
+        store.key_coding("D", ("k",))
+        store.parent_codes("F", "D", ("k",))
+        store.column_coding("F", "k")
+        stats = store.stats()
+        assert stats["relations"] >= 2
+        assert stats["record_rows"] == 24
+        assert stats["key_codings"] == 1
+        assert stats["parent_code_maps"] == 1
+        assert stats["column_codings"] == 1
+        # Byte estimate covers at least the arrays we can count directly.
+        floor = store.mult("F").nbytes + store.float_col("F", "y").nbytes
+        assert stats["ndarray_bytes"] >= floor
+        assert stats["approx_bytes"] >= stats["ndarray_bytes"]
+
+    def test_stats_include_eval_cache_arrays(self):
+        db = _db()
+        store = column_store(db)
+        base = store.stats()["approx_bytes"]
+        store.eval_cache["scan-key"] = (np.ones(100), np.ones(100, dtype=bool))
+        stats = store.stats()
+        assert stats["eval_entries"] == 1
+        assert stats["eval_bytes"] >= 800
+        assert stats["approx_bytes"] > base
+
+    def test_evict_column_store(self):
+        from repro.backend import evict_column_store, peek_column_store
+
+        db = _db()
+        assert peek_column_store(db) is None  # peek never builds
+        store = column_store(db)
+        assert peek_column_store(db) is store
+        assert evict_column_store(db)
+        assert peek_column_store(db) is None
+        assert not evict_column_store(db)
+
+
 class TestLifecycle:
     def test_store_does_not_pin_the_database(self):
         """The registry's weakref eviction must actually fire: the
