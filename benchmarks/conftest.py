@@ -51,6 +51,18 @@ def bundle(dataset_name, dataset_size):
     return load_dataset(dataset_name, dataset_size)
 
 
+def require_multicore(minimum: int = 2) -> None:
+    """Skip the calling test when the host cannot parallelize.
+
+    Process-pool benchmarks measure GIL escape; on a single core the
+    pool only adds pickling overhead and the speedup claim is
+    unfalsifiable, so the bench is noise rather than signal.
+    """
+    cores = os.cpu_count() or 1
+    if cores < minimum:
+        pytest.skip(f"needs >= {minimum} cores, host has {cores}")
+
+
 def ifaq_backend() -> str:
     """The benchmark backend: ``REPRO_BACKEND`` if set (CI runs a
     ``numpy`` leg), else C++ when a toolchain exists (the paper's

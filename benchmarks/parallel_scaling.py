@@ -1,0 +1,274 @@
+"""Emit ``BENCH_parallel.json`` — process-pool scaling versus threads.
+
+The process pool exists to escape the GIL: Python-level kernel loops
+serialize on one core no matter how many threads the sharded backend
+spreads them over, while worker processes run them truly in parallel.
+This benchmark measures that claim on three Figure-5-shaped workloads:
+
+* ``lr-covar-batch``   — the fig5 linear-regression covar batch as a
+  plain sharded run over the generated Python kernel (pure-Python
+  block loops: the GIL-bound case processes are for);
+* ``tree-groupby-batch`` — the fig5 regression-tree variance batch as
+  a sharded group-by on the NumPy backend (vectorized blocks: the
+  honest case where threads already overlap in BLAS/ufunc code);
+* ``serving``          — the async service answering a fan-out of
+  distinct group-by fingerprints with its thread vs process executor
+  (``fuse=False`` so every fingerprint pays a real kernel run).
+
+For each worker count the sharded workloads time ``mode="thread"``
+against ``mode="process"`` over the *same* compiled kernel, and every
+process-mode result is compared ``==`` against the sequential
+single-shot result — the bit-identity gate.  Any mismatch makes the
+script exit non-zero; speedups are recorded for the multi-core CI
+runner (on one core the interesting number is the overhead, not the
+speedup).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/parallel_scaling.py [--out BENCH_parallel.json]
+
+Environment: ``IFAQ_BENCH_FACTS`` (default 30000),
+``IFAQ_BENCH_REPEATS`` (default 3), ``IFAQ_BENCH_WORKERS`` (comma list,
+default ``1,2,...`` up to the core count capped at 8),
+``IFAQ_SERVE_CLIENTS`` (default 12).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro import KernelCache, __version__
+from repro.aggregates import build_join_tree, covar_batch, variance_batch
+from repro.aggregates.engine import compute_groupby
+from repro.backend import (
+    NumpyBackend,
+    ProcessKernelExecutor,
+    PythonKernelBackend,
+    ShardedBackend,
+    build_batch_plan,
+)
+from repro.backend.layout import LAYOUT_SORTED
+from repro.data import star_schema
+from repro.serving import AggregateService, GroupByRequest
+
+FACTS = int(os.environ.get("IFAQ_BENCH_FACTS", "30000"))
+REPEATS = int(os.environ.get("IFAQ_BENCH_REPEATS", "3"))
+CLIENTS = int(os.environ.get("IFAQ_SERVE_CLIENTS", "12"))
+CORES = os.cpu_count() or 1
+
+
+def worker_counts() -> list[int]:
+    raw = os.environ.get("IFAQ_BENCH_WORKERS")
+    if raw:
+        return [int(tok) for tok in raw.split(",") if tok.strip()]
+    counts, w = [], 1
+    while w <= min(CORES, 8):
+        counts.append(w)
+        w *= 2
+    return counts
+
+
+def best_of(fn, repeats: int = REPEATS) -> tuple[float, object]:
+    """Best wall-clock of ``repeats`` runs and the last result."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def sharded_workload(name: str, ds, inner, run_single, run_sharded) -> dict:
+    """Time thread vs process sharding for every worker count."""
+    seq_seconds, reference = best_of(run_single)
+    out = {
+        "name": name,
+        "inner_backend": inner.name,
+        "sequential_seconds": round(seq_seconds, 6),
+        "bit_identical": True,
+        "worker_counts": [],
+    }
+    for workers in worker_counts():
+        pool = ProcessKernelExecutor(workers=workers)
+        try:
+            threaded = ShardedBackend(inner=inner, shards=workers, mode="thread")
+            processed = ShardedBackend(
+                inner=inner, shards=workers, mode="process", executor=pool
+            )
+            # Warm worker-side registration + kernel bootstrap untimed.
+            run_sharded(processed)
+            t_thread, r_thread = best_of(lambda: run_sharded(threaded))
+            t_proc, r_proc = best_of(lambda: run_sharded(processed))
+        finally:
+            pool.shutdown()
+        identical = r_thread == reference and r_proc == reference
+        out["bit_identical"] = out["bit_identical"] and identical
+        out["worker_counts"].append(
+            {
+                "workers": workers,
+                "thread_seconds": round(t_thread, 6),
+                "process_seconds": round(t_proc, 6),
+                "process_vs_thread": round(t_thread / t_proc, 3) if t_proc else None,
+                "process_vs_sequential": (
+                    round(seq_seconds / t_proc, 3) if t_proc else None
+                ),
+                "bit_identical": identical,
+            }
+        )
+    out["best_process_vs_thread"] = max(
+        w["process_vs_thread"] for w in out["worker_counts"]
+    )
+    return out
+
+
+def lr_covar_workload(ds) -> dict:
+    """Fig5 LR: the covar batch over a generated pure-Python kernel."""
+    batch = covar_batch(ds.features, label=ds.label)
+    tree = build_join_tree(
+        ds.db.schema(), ds.query.relations, stats=dict(ds.db.statistics())
+    )
+    plan = build_batch_plan(ds.db, tree, batch)
+    inner = PythonKernelBackend()
+    kernel = KernelCache().get_or_compile(inner, plan, LAYOUT_SORTED)
+    return sharded_workload(
+        "lr-covar-batch",
+        ds,
+        inner,
+        run_single=lambda: inner.execute(kernel, ds.db),
+        run_sharded=lambda backend: backend.execute(kernel, ds.db),
+    )
+
+
+def tree_groupby_workload(ds) -> dict:
+    """Fig5 tree: the variance batch grouped by a dimension attribute."""
+    batch = variance_batch(ds.label)
+    tree = build_join_tree(
+        ds.db.schema(), ds.query.relations, stats=dict(ds.db.statistics())
+    )
+    plan = build_batch_plan(ds.db, tree, batch, group_attr=ds.features[0])
+    inner = NumpyBackend()
+    kernel = KernelCache().get_or_compile(inner, plan, LAYOUT_SORTED)
+    return sharded_workload(
+        "tree-groupby-batch",
+        ds,
+        inner,
+        run_single=lambda: inner.run_groupby(kernel, ds.db),
+        run_sharded=lambda backend: backend.run_groupby(kernel, ds.db),
+    )
+
+
+def serving_workload(ds) -> dict:
+    """Thread vs process serving executor over distinct fingerprints.
+
+    ``fuse=False`` keeps every feature's group-by a separate kernel run,
+    so the executor — not the coalescer — carries the load.
+    """
+    batch = variance_batch(ds.label)
+    tree = build_join_tree(
+        ds.db.schema(), ds.query.relations, stats=dict(ds.db.statistics())
+    )
+
+    def waves():
+        return [
+            GroupByRequest("star", batch, ds.features[c % len(ds.features)])
+            for c in range(CLIENTS)
+        ]
+
+    sequential = {
+        feature: compute_groupby(
+            ds.db, tree, batch, feature, backend="numpy",
+            kernel_cache=KernelCache(),
+        )
+        for feature in ds.features
+    }
+
+    async def drive(executor: str) -> tuple[float, bool]:
+        async with AggregateService(
+            backend=NumpyBackend(),
+            kernel_cache=KernelCache(),
+            fuse=False,
+            executor=executor,
+        ) as service:
+            service.register_database("star", ds.db)
+            await service.submit_many(waves())  # warm compile + bootstrap
+            best = float("inf")
+            responses: list = []
+            for _ in range(REPEATS):
+                started = time.perf_counter()
+                responses = await service.submit_many(waves())
+                best = min(best, time.perf_counter() - started)
+            identical = all(
+                response == sequential[ds.features[c % len(ds.features)]]
+                for c, response in enumerate(responses)
+            )
+            return best, identical
+
+    t_thread, ok_thread = asyncio.run(drive("thread"))
+    t_proc, ok_proc = asyncio.run(drive("process"))
+    return {
+        "name": "serving",
+        "clients": CLIENTS,
+        "fingerprints": len(ds.features),
+        "thread_seconds": round(t_thread, 6),
+        "process_seconds": round(t_proc, 6),
+        "thread_requests_per_second": round(CLIENTS / t_thread, 2),
+        "process_requests_per_second": round(CLIENTS / t_proc, 2),
+        "process_vs_thread": round(t_thread / t_proc, 3) if t_proc else None,
+        "bit_identical": ok_thread and ok_proc,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    args = parser.parse_args(argv)
+
+    ds = star_schema(
+        n_facts=FACTS, n_dims=3, dim_size=50, attrs_per_dim=2, fact_attrs=0, seed=7
+    )
+    report = {
+        "benchmark": "parallel-scaling",
+        "version": __version__,
+        "cores": CORES,
+        "facts": FACTS,
+        "repeats": REPEATS,
+        "worker_counts": worker_counts(),
+        "workloads": [
+            lr_covar_workload(ds),
+            tree_groupby_workload(ds),
+            serving_workload(ds),
+        ],
+    }
+    report["bit_identical"] = all(w["bit_identical"] for w in report["workloads"])
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+
+    for w in report["workloads"]:
+        if "worker_counts" in w:
+            line = ", ".join(
+                f"{c['workers']}w: {c['process_vs_thread']}x"
+                for c in w["worker_counts"]
+            )
+            print(f"{w['name']:>20s} (proc vs thread): {line}")
+        else:
+            print(
+                f"{w['name']:>20s}: thread {w['thread_requests_per_second']} req/s, "
+                f"process {w['process_requests_per_second']} req/s "
+                f"({w['process_vs_thread']}x)"
+            )
+    print(f"bit-identical to sequential: {report['bit_identical']} (cores: {CORES})")
+    if not report["bit_identical"]:
+        print("FAIL: process-sharded results diverged from sequential", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -61,6 +61,15 @@ from repro.backend.column_store import (
 )
 from repro.backend.numpy_backend import NumpyBackend, PreparedLayout
 from repro.backend.parallel import DEFAULT_SHARDS, ShardedBackend, shard_database
+from repro.backend.process_pool import (
+    DEFAULT_PROCESS_WORKERS,
+    ProcessKernelExecutor,
+    TaskNotPicklable,
+    WorkerError,
+    default_process_workers,
+    executor_mode_from_env,
+    shared_process_executor,
+)
 from repro.backend.plan import (
     BatchPlan,
     MultiBatchPlan,
@@ -78,17 +87,21 @@ from repro.backend.registry import (
 
 __all__ = [
     "BackendResolutionError", "BatchPlan", "CacheStats", "ColumnStore",
-    "CppKernelBackend", "DEFAULT_BLOCK_SIZE", "DEFAULT_SHARDS",
-    "EngineBackend", "ExecutionBackend", "FIGURE_7B_LADDER", "Kernel",
-    "KernelCache", "LAYOUT_ARRAYS", "LAYOUT_BASELINE", "LAYOUT_HASH_TRIE",
-    "LAYOUT_RECORDS", "LAYOUT_SCALARIZED", "LAYOUT_SORTED", "LayoutOptions",
+    "CppKernelBackend", "DEFAULT_BLOCK_SIZE", "DEFAULT_PROCESS_WORKERS",
+    "DEFAULT_SHARDS", "EngineBackend", "ExecutionBackend",
+    "FIGURE_7B_LADDER", "Kernel", "KernelCache", "LAYOUT_ARRAYS",
+    "LAYOUT_BASELINE", "LAYOUT_HASH_TRIE", "LAYOUT_RECORDS",
+    "LAYOUT_SCALARIZED", "LAYOUT_SORTED", "LayoutOptions",
     "MultiBatchPlan", "NodePlan", "NumpyBackend", "PreparedLayout",
-    "PythonKernelBackend", "ShardedBackend", "available_backends",
+    "ProcessKernelExecutor", "PythonKernelBackend", "ShardedBackend",
+    "TaskNotPicklable", "WorkerError", "available_backends",
     "build_batch_plan", "clear_column_stores", "clear_kernel_sources",
     "column_store", "column_store_stats", "default_kernel_cache",
-    "evict_column_store", "get_backend", "kernel_source_dir",
+    "default_process_workers", "evict_column_store",
+    "executor_mode_from_env", "get_backend", "kernel_source_dir",
     "load_kernel_source", "merge_group_results", "merge_results",
     "merge_vectors", "peek_column_store", "prepare_data",
     "register_backend", "reset_column_store_stats", "shard_database",
-    "store_kernel_source", "tree_from_plan", "unregister_backend",
+    "shared_process_executor", "store_kernel_source", "tree_from_plan",
+    "unregister_backend",
 ]

@@ -462,7 +462,11 @@ class NumpyBackend(ExecutionBackend):
         entry = slot.get(id(db))
         if entry is not None:
             db_ref, layout = entry
-            if db_ref() is db:
+            # The store-identity check keeps eviction honest: after
+            # evict_column_store(db) (the serving layer's byte-budget
+            # trim) a cached view still pins the dead store's arrays, so
+            # rebuild against the database's *current* store instead.
+            if db_ref() is db and layout.store is column_store(db):
                 return layout
         layout = PreparedLayout(db, kernel.plan)
         key = id(db)
@@ -505,6 +509,25 @@ class NumpyBackend(ExecutionBackend):
     def merge_groupby_blocks(self, kernel: Kernel, state, partials) -> dict:
         layout = state[0]
         return _merge_groupby_partials(layout.group_keys, partials)
+
+    # -- cross-process merge hooks ----------------------------------------
+
+    def groupby_group_keys(self, kernel: Kernel, db: Database) -> list:
+        """The kernel's group-key table, computed against the *local*
+        store.  Column codings are deterministic functions of the data,
+        so a worker process folding blocks of its pickled copy produces
+        partials indexed by exactly this table — which is what lets the
+        parent merge remote partials without shipping key tables back.
+        """
+        require_groupby(kernel)
+        keys, _codes = column_store(db).column_coding(
+            kernel.plan.root.relation, kernel.plan.group_attr
+        )
+        return keys
+
+    def merge_groupby_partials(self, group_keys: list, partials) -> dict:
+        """Merge block partials (local or remote) in canonical order."""
+        return _merge_groupby_partials(group_keys, partials)
 
     # -- execution ---------------------------------------------------------
 

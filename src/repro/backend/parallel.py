@@ -25,6 +25,19 @@ Two execution paths:
   (the C++ binary in parallel subprocesses that release the GIL).
   Partial dictionaries merge with ``v_add`` in shard order.
 
+Either path can run its shards on **threads** (the default) or on
+**worker processes** (``mode="process"``, default taken from the
+``IFAQ_EXECUTOR`` environment variable): the block path sends each
+shard's ``(canonical block index, range)`` list to a
+:class:`~repro.backend.process_pool.ProcessKernelExecutor` worker —
+which re-resolves the kernel from the spilled source cache and folds
+the same blocks the thread path would — and merges the returned
+partials in the same canonical block order, so process-sharded results
+stay bit-identical to single-shot for every shard *and* worker count.
+Kernels without a block protocol, and tasks that cannot cross the
+process boundary (opaque predicate callables, unpicklable inner
+backends), silently fall back to the thread path.
+
 Per-shard wall-clock timings are recorded on ``last_shard_seconds`` for
 the benchmark reports.
 
@@ -97,12 +110,23 @@ def _chunk(seq: list, k: int) -> list[list]:
     return chunks
 
 
+def default_shard_mode() -> str:
+    """Shard execution mode from ``IFAQ_EXECUTOR`` (thread by default)."""
+    from repro.backend.process_pool import executor_mode_from_env
+
+    return executor_mode_from_env()
+
+
 @dataclass
 class ShardedBackend(ExecutionBackend):
     """Run any inner backend over K shards of the root relation."""
 
     inner: str | ExecutionBackend = "python"
     shards: int = DEFAULT_SHARDS
+    #: "thread" or "process"; default from ``IFAQ_EXECUTOR``
+    mode: str = field(default_factory=default_shard_mode)
+    #: process pool override; defaults to the shared process-wide pool
+    executor: object | None = field(default=None, repr=False)
     context: dict = field(default_factory=dict)
 
     #: wall-clock seconds per shard of the most recent execution
@@ -111,16 +135,27 @@ class ShardedBackend(ExecutionBackend):
     def __post_init__(self) -> None:
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.mode not in ("thread", "process"):
+            raise ValueError(
+                f"mode must be 'thread' or 'process', got {self.mode!r}"
+            )
         if isinstance(self.inner, str):
             from repro.backend.registry import get_backend
 
             self.inner = get_backend(self.inner, **self.context)
 
+    def _pool(self):
+        if self.executor is not None:
+            return self.executor
+        from repro.backend.process_pool import shared_process_executor
+
+        return shared_process_executor()
+
     # -- ExecutionBackend ------------------------------------------------
 
     @property
     def name(self) -> str:  # type: ignore[override]
-        return f"sharded[{self.inner.name}x{self.shards}]"
+        return f"sharded[{self.inner.name}x{self.shards}:{self.mode}]"
 
     @property
     def kernel_key(self) -> str:
@@ -139,6 +174,13 @@ class ShardedBackend(ExecutionBackend):
 
     def execute(self, kernel: Kernel, db: Database) -> dict[str, float]:
         if self._supports_blocks(kernel):
+            if self.mode == "process":
+                from repro.backend.process_pool import TaskNotPicklable
+
+                try:
+                    return self._execute_blocks_process(kernel, db)
+                except TaskNotPicklable:
+                    pass  # unpicklable inner backend: threads still work
             return self._execute_blocks(kernel, db)
         return self._execute_subdatabases(kernel, db)
 
@@ -157,6 +199,13 @@ class ShardedBackend(ExecutionBackend):
         order.
         """
         if self._supports_groupby_blocks(kernel):
+            if self.mode == "process" and self._supports_groupby_merge():
+                from repro.backend.process_pool import TaskNotPicklable
+
+                try:
+                    return self._groupby_blocks_process(kernel, db, predicates)
+                except TaskNotPicklable:
+                    pass  # opaque predicate callables: threads still work
             return self._groupby_blocks(kernel, db, predicates)
         shard_dbs = shard_database(db, kernel.plan.root.relation, self.shards)
         if not shard_dbs:
@@ -246,6 +295,70 @@ class ShardedBackend(ExecutionBackend):
         by_index = {idx: part for partials, _ in shard_outputs for idx, part in partials}
         ordered = [by_index[idx] for idx, _ in ranges]
         return kernel.result_dict(merge_vectors(ordered))
+
+    # -- process path (same blocks, worker processes) ---------------------
+
+    def _supports_groupby_merge(self) -> bool:
+        # The parent merges remote group-by partials itself, so the
+        # inner backend must expose the key table and the key-based
+        # merge (the numpy backend does).
+        return all(
+            hasattr(self.inner, m)
+            for m in ("groupby_group_keys", "merge_groupby_partials")
+        )
+
+    def _root_rows(self, kernel: Kernel, db: Database) -> int:
+        # Matches what the inner backend's prepare() derives: both the
+        # generated-Python and numpy preparations keep one entry per
+        # root-relation row.
+        return len(db.relation(kernel.plan.root.relation).data)
+
+    def _scatter_blocks(self, kernel: Kernel, db: Database, n_rows: int, **kwargs):
+        """Fan shard block-lists out to worker processes; gather partials
+        back in canonical block order (the bit-identity contract)."""
+        ranges = list(enumerate(self.inner.block_ranges(n_rows)))
+        assignments = _chunk(ranges, self.shards)
+        pool = self._pool()
+        futures = [
+            pool.run_blocks(
+                self.inner, db, kernel.plan, kernel.layout, blocks, **kwargs
+            )
+            for blocks in assignments
+        ]
+        outputs = [f.result() for f in futures]
+        self.last_shard_seconds = [seconds for _, seconds in outputs]
+        by_index = {idx: part for partials, _ in outputs for idx, part in partials}
+        return [by_index[idx] for idx, _ in ranges]
+
+    def _execute_blocks_process(self, kernel: Kernel, db: Database) -> dict[str, float]:
+        n_rows = self._root_rows(kernel, db)
+        if n_rows == 0:
+            self.last_shard_seconds = []
+            return kernel.result_dict([0.0] * kernel.plan.num_aggregates)
+        ordered = self._scatter_blocks(kernel, db, n_rows)
+        return kernel.result_dict(merge_vectors(ordered))
+
+    def _groupby_blocks_process(
+        self, kernel: Kernel, db: Database, predicates=None
+    ) -> dict:
+        n_rows = self._root_rows(kernel, db)
+        if n_rows == 0:
+            self.last_shard_seconds = []
+            return {}
+        from repro.serving.requests import predicate_key
+
+        ordered = self._scatter_blocks(
+            kernel,
+            db,
+            n_rows,
+            groupby=True,
+            predicates=predicates,
+            pred_key=predicate_key(predicates),
+        )
+        # Codings are deterministic, so the parent-side key table indexes
+        # the workers' partials exactly.
+        group_keys = self.inner.groupby_group_keys(kernel, db)
+        return self.inner.merge_groupby_partials(group_keys, ordered)
 
     # -- sub-database path (engine / C++) --------------------------------
 

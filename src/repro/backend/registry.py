@@ -106,12 +106,19 @@ def _cpp_factory(**context) -> ExecutionBackend:
 
 
 def _sharded_factory(**context) -> ExecutionBackend:
-    from repro.backend.parallel import DEFAULT_SHARDS, ShardedBackend
+    from repro.backend.parallel import (
+        DEFAULT_SHARDS,
+        ShardedBackend,
+        default_shard_mode,
+    )
 
+    own = ("inner", "shards", "mode", "executor")
     return ShardedBackend(
         inner=context.get("inner", "python"),
         shards=context.get("shards", DEFAULT_SHARDS),
-        context={k: v for k, v in context.items() if k not in ("inner", "shards")},
+        mode=context.get("mode", default_shard_mode()),
+        executor=context.get("executor"),
+        context={k: v for k, v in context.items() if k not in own},
     )
 
 

@@ -25,12 +25,26 @@ The service exploits that repetition twice:
 
 Kernel execution is blocking (numpy folds, generated kernels, g++
 binaries), so it is offloaded to a bounded worker pool — a
-``ThreadPoolExecutor`` by default, pluggable via the ``executor``
-parameter for the future process-pool shard work.  Kernel compilation
-goes through the shared :class:`~repro.backend.cache.KernelCache`
-(single-flight, so raced fingerprints compile once) and columnar state
-through the shared per-database
-:class:`~repro.backend.column_store.ColumnStore`.
+``ThreadPoolExecutor`` by default, or a
+:class:`~repro.backend.process_pool.ProcessKernelExecutor` running
+kernels in worker *processes* (``executor="process"``, or
+``IFAQ_EXECUTOR=process`` in the environment), which is how coalesced
+and fused runs for different fingerprints proceed on all cores
+concurrently instead of time-slicing one GIL.  On the process path the
+parent still compiles (and spills) each kernel once — workers
+warm-start from the spilled source — and plans/databases cross the
+process boundary once per registration, not per request.  Kernel
+compilation goes through the shared
+:class:`~repro.backend.cache.KernelCache` (single-flight, so raced
+fingerprints compile once) and columnar state through the shared
+per-database :class:`~repro.backend.column_store.ColumnStore`.
+
+Long-lived services can additionally cap columnar memory with
+``store_budget_bytes`` (or ``IFAQ_STORE_BUDGET_BYTES``): after each
+run, if the summed ``approx_bytes`` of every registration's column
+stores exceeds the budget, stores are trimmed LRU — δ-filtered copies
+first, then whole stores of the least-recently-used databases — and
+rebuilt lazily on next touch.
 """
 
 from __future__ import annotations
@@ -48,6 +62,11 @@ from repro.backend.cache import KernelCache, default_kernel_cache
 from repro.backend.column_store import evict_column_store, peek_column_store
 from repro.backend.layout import LAYOUT_SORTED, LayoutOptions
 from repro.backend.plan import BatchPlan, MultiBatchPlan, build_batch_plan
+from repro.backend.process_pool import (
+    ProcessKernelExecutor,
+    TaskNotPicklable,
+    executor_mode_from_env,
+)
 from repro.backend.registry import get_backend
 from repro.db.database import Database
 from repro.serving.requests import (
@@ -88,6 +107,8 @@ class _Registration:
     plans: dict = field(default_factory=dict)
     #: predicate key → δ-filtered Database (plain-batch execution path)
     filtered_dbs: dict = field(default_factory=dict)
+    #: loop time of the last dispatched run (the store-trim LRU order)
+    last_used: float = 0.0
 
 
 @dataclass
@@ -132,9 +153,17 @@ class AggregateService:
     max_workers:
         Concurrent kernel executions (the bounded worker pool).
     executor:
-        Optional :class:`concurrent.futures.Executor` replacing the
-        internally-owned thread pool — the seam for process-pool
-        execution of spilled kernel sources.
+        ``None`` (pick the mode from ``IFAQ_EXECUTOR``, thread by
+        default), the string ``"thread"`` or ``"process"`` (the service
+        owns the pool), or a ready
+        :class:`concurrent.futures.Executor` /
+        :class:`~repro.backend.process_pool.ProcessKernelExecutor`
+        instance (shared, not shut down on close).
+    store_budget_bytes:
+        Optional cap on the summed ``approx_bytes`` of every
+        registration's column stores; exceeded budgets trim stores LRU
+        after each run (``None``: read ``IFAQ_STORE_BUDGET_BYTES``,
+        unset meaning unlimited).
     coalesce / fuse:
         Feature switches, mainly for benchmarks measuring the naive
         per-request path.
@@ -154,7 +183,8 @@ class AggregateService:
         kernel_cache: KernelCache | None = None,
         layout: LayoutOptions = LAYOUT_SORTED,
         max_workers: int = DEFAULT_SERVICE_WORKERS,
-        executor: Executor | None = None,
+        executor: Executor | str | None = None,
+        store_budget_bytes: int | None = None,
         coalesce: bool = True,
         fuse: bool = True,
         max_fuse: int = DEFAULT_MAX_FUSE,
@@ -172,13 +202,29 @@ class AggregateService:
         self.max_fuse = max_fuse
         self.copy_results = copy_results
         self.stats = ServiceStats()
-        self._own_executor = executor is None
-        self._executor: Executor = (
-            executor
-            if executor is not None
-            else ThreadPoolExecutor(
-                max_workers=max_workers, thread_name_prefix="ifaq-serve"
-            )
+        if store_budget_bytes is None:
+            raw = os.environ.get("IFAQ_STORE_BUDGET_BYTES")
+            store_budget_bytes = int(raw) if raw else None
+        self.store_budget_bytes = store_budget_bytes
+        if executor is None:
+            executor = executor_mode_from_env()
+        if isinstance(executor, str):
+            if executor == "thread":
+                executor = ThreadPoolExecutor(
+                    max_workers=max_workers, thread_name_prefix="ifaq-serve"
+                )
+            elif executor == "process":
+                executor = ProcessKernelExecutor()
+            else:
+                raise ValueError(
+                    f"executor must be 'thread' or 'process', got {executor!r}"
+                )
+            self._own_executor = True
+        else:
+            self._own_executor = False
+        self._executor: Executor = executor
+        self._process_executor = (
+            executor if isinstance(executor, ProcessKernelExecutor) else None
         )
         self._sem = asyncio.Semaphore(max_workers)
         self._dbs: dict[str, _Registration] = {}
@@ -245,6 +291,9 @@ class AggregateService:
             evict_column_store(reg.db)
             for filtered in reg.filtered_dbs.values():
                 evict_column_store(filtered)
+        if self._process_executor is not None:
+            # Workers drop their pickled copy with their next task.
+            self._process_executor.evict_database(reg.db)
         for hook in self._evict_hooks:
             hook(name, reg.db)
         return True
@@ -387,20 +436,15 @@ class AggregateService:
             now = loop.time()
             for entry in batch:
                 self.stats.record_queue_latency(now - entry.enqueued)
+            batch[0].registration.last_used = now
             try:
                 if len(batch) == 1:
                     entry = batch[0]
-                    results = [
-                        await loop.run_in_executor(
-                            self._executor, self._execute_one, entry
-                        )
-                    ]
+                    results = [await self._execute_entry(loop, entry)]
                     self.stats.fingerprint(entry.fingerprint).runs += 1
                 else:
                     mplan = MultiBatchPlan([entry.plan for entry in batch])
-                    results = await loop.run_in_executor(
-                        self._executor, self._execute_fused, mplan, batch
-                    )
+                    results = await self._execute_fused_entry(loop, mplan, batch)
                     self.stats.fused_runs += 1
                     self.stats.fused_requests += len(batch)
                     # Fused work is attributed to the member request
@@ -423,6 +467,7 @@ class AggregateService:
             finally:
                 for entry in batch:
                     self._inflight.pop(entry.key, None)
+                self._maybe_trim_stores()
 
     def _take_batch(self) -> list[_Inflight]:
         """Pop the oldest pending entry plus every fusable peer.
@@ -451,6 +496,59 @@ class AggregateService:
                     keep.append(entry)
             self._pending = keep
         return batch
+
+    # -- executor selection -------------------------------------------------
+
+    async def _execute_entry(self, loop, entry: _Inflight):
+        if self._process_executor is not None:
+            try:
+                result = await self._execute_process(loop, entry.kind, entry.plan, entry)
+            except TaskNotPicklable:
+                # Unpicklable backend/plan/predicates: run in-process.
+                return await loop.run_in_executor(None, self._execute_one, entry)
+            if entry.kind == "multi":
+                return dict(zip(entry.plan.group_attr, result))
+            return result
+        return await loop.run_in_executor(self._executor, self._execute_one, entry)
+
+    async def _execute_fused_entry(
+        self, loop, mplan: MultiBatchPlan, batch: list[_Inflight]
+    ) -> list:
+        if self._process_executor is not None:
+            try:
+                return await self._execute_process(loop, "multi", mplan, batch[0])
+            except TaskNotPicklable:
+                return await loop.run_in_executor(
+                    None, self._execute_fused, mplan, batch
+                )
+        return await loop.run_in_executor(
+            self._executor, self._execute_fused, mplan, batch
+        )
+
+    async def _execute_process(self, loop, kind: str, plan, entry: _Inflight):
+        """One kernel run on a pool worker process.
+
+        The parent compiles first (off the event loop): for generated
+        backends that spills the source under ``IFAQ_KERNEL_CACHE_DIR``,
+        which is exactly what the worker's own compile warm-loads — the
+        worker re-execs the source instead of regenerating it — and it
+        keeps the service's kernel-cache counters meaningful in both
+        executor modes.
+        """
+        await loop.run_in_executor(
+            None, self.kernel_cache.get_or_compile, self.backend, plan, self.layout
+        )
+        future = self._process_executor.run_kernel(
+            self.backend,
+            entry.registration.db,
+            kind,
+            plan,
+            self.layout,
+            predicates=entry.predicates,
+            pred_key=entry.pred_key,
+        )
+        result, _worker_seconds = await asyncio.wrap_future(future)
+        return result
 
     # -- blocking execution (worker threads) --------------------------------
 
@@ -487,6 +585,47 @@ class AggregateService:
         reg = batch[0].registration
         return self.backend.run_groupby_many(kernel, reg.db, batch[0].predicates)
 
+    # -- column-store budget -------------------------------------------------
+
+    def _maybe_trim_stores(self) -> None:
+        """Trim column stores LRU when over ``store_budget_bytes``.
+
+        δ-filtered copies go first (coldest registration first), then
+        whole stores of every registration but the most recently used.
+        Trimmed stores rebuild lazily on the next request touching them
+        — the backend's prepared-layout cache revalidates store
+        identity, so a trimmed store is never served stale.
+        """
+        budget = self.store_budget_bytes
+        if not budget or not self._dbs:
+            return
+
+        def _bytes(db: Database) -> int:
+            store = peek_column_store(db)
+            return store.stats()["approx_bytes"] if store is not None else 0
+
+        regs = sorted(self._dbs.values(), key=lambda r: r.last_used)
+        total = sum(
+            _bytes(reg.db) + sum(_bytes(f) for f in reg.filtered_dbs.values())
+            for reg in regs
+        )
+        for reg in regs:  # pass 1: filtered copies, coldest first
+            if total <= budget:
+                return
+            for filtered in reg.filtered_dbs.values():
+                freed = _bytes(filtered)
+                if evict_column_store(filtered) and freed:
+                    total -= freed
+                    self.stats.store_trims += 1
+            reg.filtered_dbs.clear()
+        for reg in regs[:-1]:  # pass 2: whole stores, never the hottest
+            if total <= budget:
+                return
+            freed = _bytes(reg.db)
+            if evict_column_store(reg.db) and freed:
+                total -= freed
+                self.stats.store_trims += 1
+
     # -- reporting / lifecycle ----------------------------------------------
 
     def stats_dict(self) -> dict:
@@ -504,6 +643,11 @@ class AggregateService:
             "service": self.stats.as_dict(),
             "kernel_cache": self.kernel_cache.stats.as_dict(),
             "databases": databases,
+            "executor": {
+                "kind": "process" if self._process_executor is not None else "thread",
+                "workers": getattr(self._process_executor, "workers", None),
+            },
+            "store_budget_bytes": self.store_budget_bytes,
         }
 
     async def drain(self) -> None:

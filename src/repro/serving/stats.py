@@ -54,6 +54,8 @@ class ServiceStats:
     runs: int = 0
     #: runs that executed a fused MultiBatchPlan bundle
     fused_runs: int = 0
+    #: column stores evicted by the byte-budget LRU trim policy
+    store_trims: int = 0
     #: seconds requests spent queued before their execution started
     queue_seconds_total: float = 0.0
     queue_seconds_max: float = 0.0
@@ -91,6 +93,7 @@ class ServiceStats:
             "fused_requests": self.fused_requests,
             "runs": self.runs,
             "fused_runs": self.fused_runs,
+            "store_trims": self.store_trims,
             "coalesce_rate": round(self.coalesce_rate, 4),
             "queue_seconds_total": round(self.queue_seconds_total, 6),
             "queue_seconds_max": round(self.queue_seconds_max, 6),

@@ -1,0 +1,138 @@
+"""The worker-bootstrap contract: spilled kernel sources round-trip.
+
+A kernel compiled in one process must be loadable and executable in a
+*fresh* interpreter that shares nothing but ``IFAQ_KERNEL_CACHE_DIR`` —
+that file is the only thing the process pool's workers need to warm-
+start, so this pins the cross-process channel at the unit level.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.aggregates import build_join_tree, covar_batch
+from repro.backend import (
+    PythonKernelBackend,
+    build_batch_plan,
+    load_kernel_source,
+    store_kernel_source,
+)
+from repro.backend.layout import LAYOUT_SORTED
+
+#: Rebuilds the deterministic star database (mirrors the ``int_star_db``
+#: fixture: same seed, same shapes), compiles the same plan in a fresh
+#: interpreter, and reports whether the spill was reused.
+CHILD_SCRIPT = """
+import json, random, sys
+
+from repro.aggregates import build_join_tree, covar_batch
+from repro.backend import PythonKernelBackend, build_batch_plan
+from repro.backend.layout import LAYOUT_SORTED
+from repro.db import Database, Relation, RelationSchema
+from repro.ir.types import INT, REAL
+
+rng = random.Random(17)
+n_items, n_stores, n_sales = 12, 5, 200
+sales = Relation.from_rows(
+    RelationSchema.of("S", [("item", INT), ("store", INT), ("units", REAL)]),
+    [
+        (rng.randrange(n_items), rng.randrange(n_stores), round(rng.uniform(0, 10), 2))
+        for _ in range(n_sales)
+    ],
+)
+stores = Relation.from_rows(
+    RelationSchema.of("R", [("store", INT), ("cityf", REAL)]),
+    [(s, round(rng.uniform(1, 5), 2)) for s in range(n_stores)],
+)
+items = Relation.from_rows(
+    RelationSchema.of("I", [("item", INT), ("price", REAL)]),
+    [(i, round(rng.uniform(5, 50), 2)) for i in range(n_items)],
+)
+db = Database.of(sales, stores, items)
+tree = build_join_tree(db.schema(), ("S", "R", "I"), stats=db.statistics())
+plan = build_batch_plan(db, tree, covar_batch(["cityf", "price"], label="units"))
+backend = PythonKernelBackend()
+kernel = backend.compile_plan(plan, LAYOUT_SORTED)
+print(json.dumps({
+    "source_cached": kernel.meta["source_cached"],
+    "fingerprint": kernel.fingerprint,
+    "result": backend.execute(kernel, db),
+}))
+"""
+
+
+def run_child(kernel_dir: Path) -> dict:
+    env = dict(os.environ)
+    env["IFAQ_KERNEL_CACHE_DIR"] = str(kernel_dir)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c", CHILD_SCRIPT],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+def test_fresh_process_warm_loads_spilled_kernel(
+    tmp_path, monkeypatch, int_star_db, int_star_query
+):
+    monkeypatch.setenv("IFAQ_KERNEL_CACHE_DIR", str(tmp_path))
+    tree = build_join_tree(
+        int_star_db.schema(), int_star_query.relations, stats=int_star_db.statistics()
+    )
+    plan = build_batch_plan(
+        int_star_db, tree, covar_batch(["cityf", "price"], label="units")
+    )
+    backend = PythonKernelBackend()
+    kernel = backend.compile_plan(plan, LAYOUT_SORTED)
+    assert kernel.meta["source_cached"] is False  # cold: we generated it
+    assert load_kernel_source(kernel.fingerprint) == kernel.source
+
+    child = run_child(tmp_path)
+    # The fresh interpreter derived the same fingerprint, found our
+    # spill, exec'd it instead of regenerating...
+    assert child["fingerprint"] == kernel.fingerprint
+    assert child["source_cached"] is True
+    # ...and computed the identical result with it.
+    assert child["result"] == backend.execute(kernel, int_star_db)
+
+
+def test_cold_child_regenerates_without_a_spill(tmp_path):
+    child = run_child(tmp_path / "empty")
+    assert child["source_cached"] is False
+    assert child["result"]  # still answers, just paid the codegen
+
+
+def test_store_then_load_round_trips_bytes(tmp_path, monkeypatch):
+    monkeypatch.setenv("IFAQ_KERNEL_CACHE_DIR", str(tmp_path))
+    source = "def f():\n    return 42\n"
+    path = store_kernel_source("deadbeef", source)
+    assert path.parent == tmp_path
+    assert load_kernel_source("deadbeef") == source
+    assert load_kernel_source("cafebabe") is None
+
+
+def test_corrupt_spill_falls_back_to_regeneration(
+    tmp_path, monkeypatch, int_star_db, int_star_query
+):
+    monkeypatch.setenv("IFAQ_KERNEL_CACHE_DIR", str(tmp_path))
+    tree = build_join_tree(
+        int_star_db.schema(), int_star_query.relations, stats=int_star_db.statistics()
+    )
+    plan = build_batch_plan(
+        int_star_db, tree, covar_batch(["cityf", "price"], label="units")
+    )
+    backend = PythonKernelBackend()
+    fingerprint = plan.fingerprint(LAYOUT_SORTED, backend.kernel_key)
+    store_kernel_source(fingerprint, "this is not python (")
+    kernel = backend.compile_plan(plan, LAYOUT_SORTED)
+    assert kernel.meta["source_cached"] is False  # corrupt spill rejected
+    assert kernel.entry is not None
+    assert backend.execute(kernel, int_star_db)
