@@ -62,7 +62,7 @@ from repro.serving import (
     ServiceStats,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 #: lazily imported ML entry points (numpy-backed)
 _LAZY_ML = {

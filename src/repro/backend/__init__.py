@@ -59,7 +59,22 @@ from repro.backend.column_store import (
     peek_column_store,
     reset_column_store_stats,
 )
-from repro.backend.numpy_backend import NumpyBackend, PreparedLayout
+from repro.backend.numpy_backend import (
+    DeltaGroupState,
+    DeltaVectorState,
+    NumpyBackend,
+    PreparedLayout,
+    canonical_group_keys,
+    check_delta_state,
+    check_group_coding,
+    check_store_current,
+    delta_ranges,
+    fold_group_state,
+    fold_vector_state,
+    remap_group_partials,
+    serve_group_state,
+    serve_vector_state,
+)
 from repro.backend.parallel import DEFAULT_SHARDS, ShardedBackend, shard_database
 from repro.backend.process_pool import (
     DEFAULT_PROCESS_WORKERS,
@@ -88,20 +103,25 @@ from repro.backend.registry import (
 __all__ = [
     "BackendResolutionError", "BatchPlan", "CacheStats", "ColumnStore",
     "CppKernelBackend", "DEFAULT_BLOCK_SIZE", "DEFAULT_PROCESS_WORKERS",
-    "DEFAULT_SHARDS", "EngineBackend", "ExecutionBackend",
+    "DEFAULT_SHARDS", "DeltaGroupState", "DeltaVectorState",
+    "EngineBackend", "ExecutionBackend",
     "FIGURE_7B_LADDER", "Kernel", "KernelCache", "LAYOUT_ARRAYS",
     "LAYOUT_BASELINE", "LAYOUT_HASH_TRIE", "LAYOUT_RECORDS",
     "LAYOUT_SCALARIZED", "LAYOUT_SORTED", "LayoutOptions",
     "MultiBatchPlan", "NodePlan", "NumpyBackend", "PreparedLayout",
     "ProcessKernelExecutor", "PythonKernelBackend", "ShardedBackend",
     "TaskNotPicklable", "WorkerError", "available_backends",
-    "build_batch_plan", "clear_column_stores", "clear_kernel_sources",
+    "build_batch_plan", "canonical_group_keys", "check_delta_state",
+    "check_group_coding", "check_store_current", "clear_column_stores", "clear_kernel_sources",
     "column_store", "column_store_stats", "default_kernel_cache",
-    "default_process_workers", "evict_column_store",
-    "executor_mode_from_env", "get_backend", "kernel_source_dir",
+    "default_process_workers", "delta_ranges", "evict_column_store",
+    "executor_mode_from_env", "fold_group_state", "fold_vector_state",
+    "get_backend", "kernel_source_dir",
     "load_kernel_source", "merge_group_results", "merge_results",
     "merge_vectors", "peek_column_store", "prepare_data",
-    "register_backend", "reset_column_store_stats", "shard_database",
+    "register_backend", "remap_group_partials",
+    "reset_column_store_stats", "serve_group_state",
+    "serve_vector_state", "shard_database",
     "shared_process_executor", "store_kernel_source", "tree_from_plan",
     "unregister_backend",
 ]

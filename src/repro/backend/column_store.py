@@ -28,9 +28,16 @@ executor, the fused multi-plan path and the serving layer):
    identity with a weak-reference guard (id reuse is detected; the
    store is evicted when the database is collected, and eagerly via
    :func:`evict_column_store`).
-2. *Immutability* — relations must not be mutated in place while a
-   store (or any prepared representation) exists for their database;
-   registration with the serving layer states the same contract.
+2. *Immutability between extensions* — relations must not be mutated
+   in place while a store (or any prepared representation) exists for
+   their database, **except** through the ingest seam: after
+   :meth:`Database.append_rows` the owner calls
+   :meth:`ColumnStore.extend_relation` (pure appends — arrays extend
+   in place, codes stay stable) or
+   :meth:`ColumnStore.invalidate_relation` (multiplicity bumps —
+   every memo touching the relation drops and rebuilds lazily).
+   Both bump :attr:`ColumnStore.data_version`, which prepared layouts
+   revalidate, so stale per-plan wiring is never served.
 3. *Renumbering invariance* — the dense codes handed out by the
    codings carry no semantic order; every downstream fold
    (``bincount`` views, presence masks, parent gathers) must be
@@ -79,6 +86,38 @@ class KeyCoding:
     values: np.ndarray | None = None
 
 
+class _EvalCache(dict):
+    """The eval-cache dict, with a change hook for lazy size accounting.
+
+    Writers (the numpy backend's bottom-up pass) treat it as a plain
+    dict; every mutation marks the owning store's cached stats dirty so
+    :meth:`ColumnStore.stats` recomputes byte estimates only when
+    something actually changed.
+    """
+
+    __slots__ = ("_on_change",)
+
+    def __init__(self, on_change):
+        super().__init__()
+        self._on_change = on_change
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self._on_change()
+
+    def __delitem__(self, key):
+        super().__delitem__(key)
+        self._on_change()
+
+    def pop(self, *args):
+        self._on_change()
+        return super().pop(*args)
+
+    def clear(self):
+        self._on_change()
+        super().clear()
+
+
 class ColumnStore:
     """Shared per-relation ndarray columns and key codings for one database.
 
@@ -95,10 +134,16 @@ class ColumnStore:
         # lazily from calls that hold the database anyway.
         self._db_ref = weakref.ref(db)
         self._lock = threading.RLock()
+        #: bumped by every delta extension / invalidation; prepared
+        #: layouts snapshot it at construction and rebuild on mismatch,
+        #: so per-plan views never serve pre-ingest array snapshots
+        self.data_version: int = 0
+        #: lazily recomputed stats() payload (dirty-flag invalidation)
+        self._stats_cache: dict[str, int] | None = None
         #: predicate-free subtree evaluation results, keyed by the
         #: numpy backend's structural scan keys — rerooted plans share
         #: most subtrees verbatim, so their bottom-up passes meet here
-        self.eval_cache: dict = {}
+        self.eval_cache: dict = _EvalCache(self._mark_stats_dirty)
         self._records: dict[str, list] = {}
         self._mult: dict[str, np.ndarray] = {}
         self._float_cols: dict[tuple[str, str], np.ndarray] = {}
@@ -106,6 +151,9 @@ class ColumnStore:
         self._key_codings: dict[tuple[str, tuple[str, ...]], KeyCoding] = {}
         self._parent_codes: dict[tuple[str, str, tuple[str, ...]], np.ndarray] = {}
         self._column_codings: dict[tuple[str, str], tuple[list, np.ndarray]] = {}
+
+    def _mark_stats_dirty(self) -> None:
+        self._stats_cache = None
 
     @property
     def db(self) -> Database:
@@ -124,6 +172,7 @@ class ColumnStore:
             if recs is None:
                 recs = list(self.db.relation(relation).data)
                 self._records[relation] = recs
+                self._stats_cache = None
             return recs
 
     def n_rows(self, relation: str) -> int:
@@ -137,6 +186,7 @@ class ColumnStore:
                     list(self.db.relation(relation).data.values()), dtype=np.float64
                 )
                 self._mult[relation] = arr
+                self._stats_cache = None
             return arr
 
     def float_col(self, relation: str, attr: str) -> np.ndarray:
@@ -147,6 +197,7 @@ class ColumnStore:
                     [rec[attr] for rec in self.records(relation)], dtype=np.float64
                 )
                 self._float_cols[(relation, attr)] = col
+                self._stats_cache = None
             return col
 
     def raw_col(self, relation: str, attr: str) -> np.ndarray:
@@ -156,6 +207,7 @@ class ColumnStore:
             if col is None:
                 col = np.array([rec[attr] for rec in self.records(relation)])
                 self._raw_cols[(relation, attr)] = col
+                self._stats_cache = None
             return col
 
     # -- join-key codings --------------------------------------------------
@@ -201,6 +253,7 @@ class ColumnStore:
             if coding is None:
                 coding = self._loop_key_coding(relation, key_attrs)
             self._key_codings[(relation, key_attrs)] = coding
+            self._stats_cache = None
             return coding
 
     def _vectorized_key_coding(
@@ -289,6 +342,7 @@ class ColumnStore:
                 for i, rec in enumerate(records):
                     codes[i] = table.get(tuple(rec[a] for a in key_attrs), -1)
             self._parent_codes[(parent, child, key_attrs)] = codes
+            self._stats_cache = None
             return codes
 
     # -- value codings (group-by key tables) ------------------------------
@@ -318,7 +372,195 @@ class ColumnStore:
                     codes[i] = table.setdefault(rec[attr], len(table))
                 coding = (list(table), codes)
             self._column_codings[(relation, attr)] = coding
+            self._stats_cache = None
             return coding
+
+    # -- streaming ingest: delta extension & invalidation ------------------
+
+    @staticmethod
+    def _scan_key_mentions(scan_key: tuple, relation: str) -> bool:
+        """Whether a structural scan key's subtree touches ``relation``."""
+        rel, _parent_key, _owned, children = scan_key
+        if rel == relation:
+            return True
+        return any(ColumnStore._scan_key_mentions(c, relation) for c in children)
+
+    def _drop_eval_entries(self, relation: str) -> int:
+        stale = [k for k in self.eval_cache if self._scan_key_mentions(k, relation)]
+        for key in stale:
+            del self.eval_cache[key]
+        return len(stale)
+
+    def _lookup_codes(
+        self, child: str, key_attrs: tuple[str, ...], coding: KeyCoding, records: list
+    ) -> np.ndarray:
+        """Child key-table codes for a short record list (-1 dangling)."""
+        table = coding.table
+        if table is None:
+            table = {
+                tuple(rec[a] for a in key_attrs): int(coding.codes[i])
+                for i, rec in enumerate(self.records(child))
+            }
+        codes = np.empty(len(records), dtype=np.intp)
+        for i, rec in enumerate(records):
+            codes[i] = table.get(tuple(rec[a] for a in key_attrs), -1)
+        return codes
+
+    def extend_relation(self, relation: str) -> int:
+        """Extend memos in place after a **pure append** to ``relation``.
+
+        The delta half of the ingest contract: appended records extend
+        the relation's record list, multiplicity vector and columns;
+        codings keep every existing code stable (new keys/values get
+        fresh codes at the end — safe by the renumbering-invariance
+        contract) so group dictionaries and cached delta states stay
+        addressable.  What cannot be extended is dropped and rebuilds
+        lazily:
+
+        * vectorized (sorted-values) key codings of the relation —
+          appending would break sortedness;
+        * parent→child code maps where the relation is the *child* — a
+          previously dangling parent row may join a newly appended key;
+        * memoized subtree evaluations whose scan key touches the
+          relation (and only those — sibling subtrees stay cached).
+
+        Callers must hold off concurrent readers (the serving layer's
+        writer barrier); only call after ``AppendDelta.pure_append``
+        ingests — multiplicity bumps need :meth:`invalidate_relation`.
+        Returns the number of memo entries invalidated.
+        """
+        with self._lock:
+            db_rel = self.db.relation(relation)
+            all_records = list(db_rel.data)
+            n_total = len(all_records)
+            invalidated = 0
+
+            recs = self._records.get(relation)
+            if recs is not None and len(recs) < n_total:
+                recs.extend(all_records[len(recs):])
+
+            arr = self._mult.get(relation)
+            if arr is not None and len(arr) < n_total:
+                tail = list(db_rel.data.values())[len(arr):]
+                self._mult[relation] = np.concatenate(
+                    [arr, np.array(tail, dtype=np.float64)]
+                )
+
+            for (rel, attr), col in list(self._float_cols.items()):
+                if rel == relation and len(col) < n_total:
+                    tail_vals = np.array(
+                        [rec[attr] for rec in all_records[len(col):]],
+                        dtype=np.float64,
+                    )
+                    self._float_cols[(rel, attr)] = np.concatenate([col, tail_vals])
+            for (rel, attr), col in list(self._raw_cols.items()):
+                if rel == relation and len(col) < n_total:
+                    tail_raw = np.array([rec[attr] for rec in all_records[len(col):]])
+                    self._raw_cols[(rel, attr)] = np.concatenate([col, tail_raw])
+
+            for (rel, attrs), coding in list(self._key_codings.items()):
+                if rel != relation or len(coding.codes) == n_total:
+                    continue
+                if coding.table is None:
+                    # Sorted-values coding: appending breaks sortedness.
+                    del self._key_codings[(rel, attrs)]
+                    invalidated += 1
+                    continue
+                tail_records = all_records[len(coding.codes):]
+                table = coding.table  # owned by this coding alone
+                tail_codes = np.empty(len(tail_records), dtype=np.intp)
+                key_row = list(coding.key_row)
+                unique = coding.unique
+                for j, rec in enumerate(tail_records):
+                    key = tuple(rec[a] for a in attrs)
+                    code = table.get(key)
+                    row = len(coding.codes) + j
+                    if code is None:
+                        table[key] = code = len(table)
+                        key_row.append(row)
+                    else:
+                        key_row[code] = row  # last occurrence wins (bag join)
+                        unique = False
+                    tail_codes[j] = code
+                self._key_codings[(rel, attrs)] = KeyCoding(
+                    codes=np.concatenate([coding.codes, tail_codes]),
+                    n_keys=len(table),
+                    key_row=np.array(key_row, dtype=np.intp),
+                    unique=unique,
+                    table=table,
+                )
+
+            # Directional parent→child maps: with the relation as the
+            # child, previously dangling parent rows may now join — drop;
+            # with the relation as the parent, extend with tail lookups.
+            for key in [k for k in self._parent_codes if k[1] == relation]:
+                del self._parent_codes[key]
+                invalidated += 1
+            for key in [k for k in self._parent_codes if k[0] == relation]:
+                _parent, child, attrs = key
+                codes = self._parent_codes[key]
+                if len(codes) == n_total:
+                    continue
+                tail_records = all_records[len(codes):]
+                coding = self.key_coding(child, attrs)
+                tail_codes = self._lookup_codes(child, attrs, coding, tail_records)
+                self._parent_codes[key] = np.concatenate([codes, tail_codes])
+
+            for (rel, attr), (keys, codes) in list(self._column_codings.items()):
+                if rel != relation or len(codes) == n_total:
+                    continue
+                lookup = {v: i for i, v in enumerate(keys)}
+                tail_records = all_records[len(codes):]
+                tail_codes = np.empty(len(tail_records), dtype=np.intp)
+                for i, rec in enumerate(tail_records):
+                    value = rec[attr]
+                    code = lookup.get(value)
+                    if code is None:
+                        lookup[value] = code = len(keys)
+                        keys.append(value)  # in place: codes stay stable
+                    tail_codes[i] = code
+                self._column_codings[(rel, attr)] = (
+                    keys, np.concatenate([codes, tail_codes])
+                )
+
+            invalidated += self._drop_eval_entries(relation)
+            self.data_version += 1
+            self._stats_cache = None
+            _STATS.delta_extends += 1
+            _STATS.memo_invalidations += invalidated
+            return invalidated
+
+    def invalidate_relation(self, relation: str) -> int:
+        """Drop every memo touching ``relation`` (non-pure ingests).
+
+        The fallback half of the ingest contract: a multiplicity bump
+        rewrites a pre-existing record in place, so extended arrays
+        would carry stale prefixes — everything derived from the
+        relation (and every subtree evaluation whose scan key touches
+        it) drops and rebuilds lazily on next use.  Returns the number
+        of memo entries invalidated.
+        """
+        with self._lock:
+            invalidated = 0
+            if self._records.pop(relation, None) is not None:
+                invalidated += 1
+            if self._mult.pop(relation, None) is not None:
+                invalidated += 1
+            for memo in (self._float_cols, self._raw_cols, self._column_codings):
+                for key in [k for k in memo if k[0] == relation]:
+                    del memo[key]
+                    invalidated += 1
+            for key in [k for k in self._key_codings if k[0] == relation]:
+                del self._key_codings[key]
+                invalidated += 1
+            for key in [k for k in self._parent_codes if relation in k[:2]]:
+                del self._parent_codes[key]
+                invalidated += 1
+            invalidated += self._drop_eval_entries(relation)
+            self.data_version += 1
+            self._stats_cache = None
+            _STATS.memo_invalidations += invalidated
+            return invalidated
 
     # -- size accounting ---------------------------------------------------
 
@@ -333,6 +575,12 @@ class ColumnStore:
         ROADMAP eviction-policy item: long-lived serving processes can
         watch ``approx_bytes`` per database and evict stores (see
         :func:`evict_column_store`) before memos grow unbounded.
+
+        The walk is recomputed **lazily**: every memo build, delta
+        extension and invalidation marks a dirty flag, and a clean call
+        returns the cached payload — so byte-budget trimmers polling
+        after every run see true sizes (arrays replaced or extended in
+        place are re-measured) without paying a full walk per poll.
         """
 
         def _nbytes(obj) -> int:
@@ -345,6 +593,8 @@ class ColumnStore:
             return 0
 
         with self._lock:
+            if self._stats_cache is not None:
+                return dict(self._stats_cache)
             ndarray_bytes = 0
             for arr in self._mult.values():
                 ndarray_bytes += arr.nbytes
@@ -358,7 +608,7 @@ class ColumnStore:
             for _keys, codes in self._column_codings.values():
                 ndarray_bytes += codes.nbytes
             eval_bytes = _nbytes(self.eval_cache)
-            return {
+            self._stats_cache = {
                 "relations": len(self._records),
                 "record_rows": sum(len(r) for r in self._records.values()),
                 "key_codings": len(self._key_codings),
@@ -369,6 +619,7 @@ class ColumnStore:
                 "eval_bytes": int(eval_bytes),
                 "approx_bytes": int(ndarray_bytes + eval_bytes),
             }
+            return dict(self._stats_cache)
 
     # -- predicate masks ---------------------------------------------------
 
@@ -423,6 +674,10 @@ class StoreStats:
 
     builds: int = 0
     hits: int = 0
+    #: pure-append delta extensions applied (streaming ingest)
+    delta_extends: int = 0
+    #: memo entries dropped by delta extension / relation invalidation
+    memo_invalidations: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -434,6 +689,8 @@ class StoreStats:
             "builds": self.builds,
             "hits": self.hits,
             "hit_rate": round(self.hit_rate, 4),
+            "delta_extends": self.delta_extends,
+            "memo_invalidations": self.memo_invalidations,
         }
 
 
@@ -513,6 +770,8 @@ def column_store_stats() -> StoreStats:
 def reset_column_store_stats() -> None:
     _STATS.builds = 0
     _STATS.hits = 0
+    _STATS.delta_extends = 0
+    _STATS.memo_invalidations = 0
 
 
 def clear_column_stores() -> int:

@@ -73,6 +73,7 @@ from repro.backend.column_store import ColumnStore, column_store
 from repro.backend.layout import LayoutOptions
 from repro.backend.plan import BatchPlan, MultiBatchPlan, NodePlan
 from repro.db.database import Database
+from repro.runtime.rings import v_add
 
 #: Root rows per execution block.  Blocks are the unit the sharded
 #: executor distributes; single-shot execution folds the same blocks in
@@ -158,6 +159,10 @@ class PreparedLayout:
     def __init__(self, db: Database, plan: BatchPlan, store: ColumnStore | None = None):
         self.plan = plan
         self.store = store if store is not None else column_store(db)
+        # Snapshotted wiring (key/child/group code arrays) is only valid
+        # for this store version; streaming ingest bumps the version and
+        # the layout cache rebuilds the thin view (see prepared_layout).
+        self.data_version = self.store.data_version
         self.nodes: dict[str, _NodeView] = {}
         self._parents: dict[str, tuple[str, int]] = {}
         self._fact_index: dict[str, np.ndarray] = {}
@@ -292,6 +297,51 @@ class PreparedLayout:
                 vals[i] = vals[i] * view[safe]
         return vals, alive
 
+    def node_values_range(
+        self,
+        lo: int,
+        hi: int,
+        masks: Mapping[str, np.ndarray] | None = None,
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Root-row value arrays restricted to rows ``[lo, hi)``.
+
+        The delta-run workhorse: every root-level operation in
+        :meth:`_eval_node` is elementwise along the root axis (copy,
+        column products, child-view gathers, alive conjunction), so the
+        sliced evaluation is **bitwise equal** to evaluating all rows
+        and slicing — which is what makes delta runs bit-identical to
+        full recomputes.  Children evaluate in full (they are unchanged
+        by a root append and hit the store's eval cache when unmasked).
+        """
+        masks = masks or {}
+        node = self.root
+        pred_mask = masks.get(node.relation)
+        alive = (
+            pred_mask[lo:hi].copy()
+            if pred_mask is not None
+            else np.ones(hi - lo, dtype=bool)
+        )
+        vals: list[np.ndarray] = []
+        for owned in node.plan_node.owned_per_spec:
+            v = node.mult[lo:hi].copy()
+            for a in owned:
+                v *= node.float_col(a)[lo:hi]
+            vals.append(v)
+        for ci, child in enumerate(node.children):
+            c_vals, c_alive = self._node_values(child, masks, None)
+            codes = node.child_codes[ci][lo:hi]
+            if child.n_keys == 0:
+                alive[:] = False
+                continue
+            ckeys = child.key_codes[c_alive]
+            present = np.bincount(ckeys, minlength=child.n_keys) > 0
+            safe = np.where(codes >= 0, codes, 0)
+            alive &= (codes >= 0) & present[safe]
+            for i, cv in enumerate(c_vals):
+                view = np.bincount(ckeys, weights=cv[c_alive], minlength=child.n_keys)
+                vals[i] = vals[i] * view[safe]
+        return vals, alive
+
     # -- fact-aligned view (the tree learner's representation) -----------
 
     def fact_index(self, relation: str) -> np.ndarray:
@@ -399,6 +449,277 @@ def _merge_groupby_partials(
     }
 
 
+# -- delta maintenance (streaming ingest) -----------------------------------
+#
+# A maintained result is the block fold *paused before the incomplete
+# trailing block*: the fold of all complete-block partials (left to
+# right in canonical order) plus the trailing partial kept separate.
+# A pure append to the root relation only ever changes rows from the
+# aligned base ``(old_n // block) * block`` onward, so a delta run
+# re-evaluates exactly those rows, folds the newly completed blocks
+# into the stored prefix and replaces the tail — reproducing the float
+# association of a full recompute bit for bit (see
+# ``PreparedLayout.node_values_range`` for the per-row argument).
+
+
+@dataclass(frozen=True)
+class DeltaVectorState:
+    """Maintained state of a plain (scalar-batch) aggregate result."""
+
+    fingerprint: str
+    #: root rows covered by this state
+    n_rows: int
+    #: left-to-right fold of all complete-block partials (None: none yet)
+    complete: list[float] | None
+    #: the trailing incomplete block's partial (None: n_rows is aligned)
+    tail: list[float] | None
+
+
+@dataclass(frozen=True)
+class DeltaGroupState:
+    """Maintained state of a group-by aggregate result.
+
+    ``counts``/``sums`` accumulate the complete-block partials exactly
+    like :func:`_merge_groupby_partials` does; group codes are stable
+    under store extension (new groups get fresh codes at the end), so
+    when the group table grows the arrays zero-extend — bitwise
+    equivalent to the zero-filled bincounts a full recompute adds.
+    """
+
+    fingerprint: str
+    n_rows: int
+    #: group-table size the arrays span
+    n_groups: int
+    counts: np.ndarray
+    sums: list[np.ndarray]
+    #: trailing incomplete block's (present, counts, sums) partial
+    tail: tuple[np.ndarray | None, np.ndarray, list[np.ndarray]] | None
+    #: the *list object* the arrays are coded against.  Store extension
+    #: appends to this same list in place, so identity tracks coding
+    #: lineage: a rebuilt store makes a new (sorted) list, and folding
+    #: this state against it would scatter groups to wrong slots —
+    #: delta runs check identity and refuse (→ full recompute).
+    group_keys: list = field(default_factory=list)
+
+
+def delta_ranges(old_n: int, new_n: int, size: int) -> list[tuple[int, int]]:
+    """Canonical block ranges covering ``[aligned_base(old_n), new_n)``.
+
+    These are exactly the trailing ranges of ``block_ranges(new_n)``
+    that a pure root append can have touched: the last old block (if it
+    was incomplete) plus every new block.
+    """
+    size = max(1, size)
+    base = (old_n // size) * size
+    return [(lo, min(lo + size, new_n)) for lo in range(base, new_n, size)]
+
+
+def fold_vector_state(
+    prev: DeltaVectorState | None,
+    partials: Sequence[list[float]],
+    ranges: Sequence[tuple[int, int]],
+    new_n: int,
+    size: int,
+    fingerprint: str,
+) -> DeltaVectorState:
+    """Advance (or create) a plain maintained state from block partials.
+
+    ``partials`` must be in canonical block order and cover exactly the
+    delta ranges (all blocks when ``prev`` is None); the previous tail
+    is discarded — its block is always within the recomputed range.
+    """
+    complete = list(prev.complete) if prev is not None and prev.complete else None
+    tail: list[float] | None = None
+    size = max(1, size)
+    for (lo, hi), part in zip(ranges, partials):
+        if hi - lo == size:
+            if complete is None:
+                complete = list(part)
+            else:
+                complete = [v_add(a, b) for a, b in zip(complete, part)]
+        else:
+            tail = list(part)
+    return DeltaVectorState(
+        fingerprint=fingerprint, n_rows=new_n, complete=complete, tail=tail
+    )
+
+
+def serve_vector_state(state: DeltaVectorState, num_aggregates: int) -> list[float]:
+    """The maintained result: fold the stored prefix with the tail."""
+    parts = [p for p in (state.complete, state.tail) if p is not None]
+    if not parts:
+        return [0.0] * num_aggregates
+    return merge_vectors(parts)
+
+
+def _add_group_partial(
+    counts: np.ndarray,
+    sums: list[np.ndarray],
+    partial: tuple[np.ndarray | None, np.ndarray, list[np.ndarray]],
+) -> None:
+    present, block_counts, block_sums = partial
+    if present is None:
+        counts += block_counts
+        for i, s in enumerate(block_sums):
+            sums[i] += s
+    else:
+        counts[present] += block_counts
+        for i, s in enumerate(block_sums):
+            sums[i][present] += s
+
+
+def fold_group_state(
+    prev: DeltaGroupState | None,
+    partials: Sequence[tuple],
+    ranges: Sequence[tuple[int, int]],
+    new_n: int,
+    group_keys: list,
+    num_aggregates: int,
+    size: int,
+    fingerprint: str,
+) -> DeltaGroupState:
+    """Advance (or create) a group-by maintained state from partials."""
+    n_groups = len(group_keys)
+    if prev is None:
+        counts = np.zeros(n_groups, dtype=np.int64)
+        sums = [np.zeros(n_groups) for _ in range(num_aggregates)]
+    else:
+        grow = n_groups - len(prev.counts)
+        if grow > 0:
+            counts = np.concatenate([prev.counts, np.zeros(grow, dtype=np.int64)])
+            sums = [np.concatenate([s, np.zeros(grow)]) for s in prev.sums]
+        else:
+            counts = prev.counts.copy()
+            sums = [s.copy() for s in prev.sums]
+    tail = None
+    size = max(1, size)
+    for (lo, hi), part in zip(ranges, partials):
+        if hi - lo == size:
+            _add_group_partial(counts, sums, part)
+        else:
+            tail = part
+    return DeltaGroupState(
+        fingerprint=fingerprint,
+        n_rows=new_n,
+        n_groups=n_groups,
+        counts=counts,
+        sums=sums,
+        tail=tail,
+        group_keys=group_keys,
+    )
+
+
+def canonical_group_keys(store: ColumnStore, relation: str, attr: str) -> list:
+    """The group-key table a **fresh** store build produces.
+
+    Equal to :meth:`ColumnStore.column_coding`'s key list until a delta
+    extension appends unseen group values (which get codes at the end
+    for state stability, breaking the fresh build's sorted order).
+    Worker processes re-pickling a mutated database rebuild their
+    stores from scratch, so their partials are indexed by *this* table;
+    the parent remaps them (:func:`remap_group_partials`) when its own
+    extended coding deviates.
+    """
+    col = store.raw_col(relation, attr)
+    try:
+        return np.unique(col).tolist()
+    except TypeError:
+        table: dict = {}
+        for rec in store.records(relation):
+            table.setdefault(rec[attr], len(table))
+        return list(table)
+
+
+def remap_group_partials(
+    partials: Sequence[tuple],
+    source_keys: list,
+    target_keys: list,
+) -> list[tuple]:
+    """Re-index group partials from one code numbering to another.
+
+    A pure permutation scatter: per-group values are untouched (group
+    folds are invariant under code renumbering), only their positions
+    move, so bit-identity survives the remap.
+    """
+    if source_keys == target_keys:
+        return list(partials)
+    index = {k: i for i, k in enumerate(target_keys)}
+    perm = np.array([index[k] for k in source_keys], dtype=np.intp)
+    n_groups = len(target_keys)
+    out: list[tuple] = []
+    for present, counts, sums in partials:
+        if present is None:
+            new_counts = np.zeros(n_groups, dtype=counts.dtype)
+            new_counts[perm] = counts
+            new_sums = []
+            for s in sums:
+                a = np.zeros(n_groups, dtype=s.dtype)
+                a[perm] = s
+                new_sums.append(a)
+            out.append((None, new_counts, new_sums))
+        else:
+            out.append((perm[present], counts, sums))
+    return out
+
+
+def check_delta_state(kernel: Kernel, state) -> None:
+    """Guard against folding a maintained state into a foreign kernel."""
+    if state.fingerprint != kernel.fingerprint:
+        raise ValueError(
+            f"delta state belongs to kernel {state.fingerprint}, "
+            f"not {kernel.fingerprint}"
+        )
+
+
+def check_store_current(layout, db: Database) -> None:
+    """Guard against a delta run over a store the database has outrun.
+
+    ``append_rows`` without a matching ``ColumnStore.extend_relation``
+    leaves the store's root-scan snapshot short of the live relation;
+    the delta range computed from it would then be empty and the run
+    would silently serve the pre-append result.  Refusing makes the
+    append contract (db/relation.py → store extension → delta fold)
+    loud at the one entry point where the mismatch is detectable.
+    """
+    root = layout.plan.root.relation
+    live = len(db.relation(root).data)
+    if layout.root.n_rows != live:
+        raise ValueError(
+            f"column store is stale for {root!r}: {layout.root.n_rows} rows "
+            f"in the store vs {live} in the database — call "
+            "ColumnStore.extend_relation after append_rows"
+        )
+
+
+def check_group_coding(state: DeltaGroupState, group_keys: list) -> None:
+    """Guard against folding group arrays across a store rebuild.
+
+    The state's arrays are indexed by the group coding of the store
+    lineage that built them; extension mutates that key list in place,
+    so identity survives appends — but an evicted-and-rebuilt store
+    makes a fresh (sorted) list whose codes need not match once unseen
+    group values were appended.  Refusing here turns a silent misfold
+    into a recoverable error (callers fall back to a full recompute).
+    """
+    if state.group_keys is not group_keys:
+        raise ValueError(
+            "delta group state was built against a different group coding "
+            "(column store rebuilt?); run a full maintained recompute"
+        )
+
+
+def serve_group_state(state: DeltaGroupState, group_keys: list) -> dict:
+    """The maintained group dict: stored arrays plus the tail partial."""
+    counts, sums = state.counts, state.sums
+    if state.tail is not None:
+        counts = counts.copy()
+        sums = [s.copy() for s in sums]
+        _add_group_partial(counts, sums, state.tail)
+    return {
+        group_keys[g]: [float(s[g]) for s in sums] for g in np.flatnonzero(counts > 0)
+    }
+
+
 @dataclass
 class NumpyBackend(ExecutionBackend):
     """Columnar ndarray evaluation of batch plans.
@@ -466,7 +787,14 @@ class NumpyBackend(ExecutionBackend):
             # evict_column_store(db) (the serving layer's byte-budget
             # trim) a cached view still pins the dead store's arrays, so
             # rebuild against the database's *current* store instead.
-            if db_ref() is db and layout.store is column_store(db):
+            # The version check keeps ingest honest: delta extension
+            # replaces the store's code arrays, so a snapshot taken
+            # before the extension wires stale arrays.
+            if (
+                db_ref() is db
+                and layout.store is column_store(db)
+                and layout.data_version == layout.store.data_version
+            ):
                 return layout
         layout = PreparedLayout(db, kernel.plan)
         key = id(db)
@@ -510,6 +838,148 @@ class NumpyBackend(ExecutionBackend):
         layout = state[0]
         return _merge_groupby_partials(layout.group_keys, partials)
 
+    # -- delta protocol (streaming ingest) --------------------------------
+
+    def supports_delta(self) -> bool:
+        return True
+
+    def prepare_delta(self, kernel: Kernel, db: Database, old_n: int):
+        """Shared state for plain delta blocks over ``[base, new_n)``.
+
+        ``base`` is the aligned start of ``delta_ranges(old_n, ...)``;
+        the returned value arrays are indexed relative to it.
+        """
+        layout = self.prepared_layout(kernel, db)
+        check_store_current(layout, db)
+        new_n = layout.root.n_rows
+        size = max(1, self.block_size)
+        base = min((old_n // size) * size, new_n)
+        vals, alive = layout.node_values_range(base, new_n)
+        return (base, vals, alive), new_n
+
+    def run_delta_block(self, kernel: Kernel, dstate, lo: int, hi: int) -> list[float]:
+        base, vals, alive = dstate
+        mask = alive[lo - base:hi - base]
+        return [_ordered_sum(v[lo - base:hi - base][mask]) for v in vals]
+
+    def prepare_groupby_delta(self, kernel: Kernel, db: Database, old_n: int, predicates=None):
+        layout = self.prepared_layout(kernel, db)
+        check_store_current(layout, db)
+        new_n = layout.root.n_rows
+        size = max(1, self.block_size)
+        base = min((old_n // size) * size, new_n)
+        masks = layout.predicate_masks(predicates)
+        vals, alive = layout.node_values_range(base, new_n, masks)
+        return (layout, base, vals, alive), new_n
+
+    def run_groupby_delta_block(self, kernel: Kernel, dstate, lo: int, hi: int):
+        layout, base, vals, alive = dstate
+        return _groupby_block_partial(
+            vals,
+            alive,
+            layout.group_codes[base:],
+            len(layout.group_keys),
+            lo - base,
+            hi - base,
+        )
+
+    def run_maintained(
+        self, kernel: Kernel, db: Database
+    ) -> tuple[dict[str, float], DeltaVectorState]:
+        """Full run that also returns the maintained state for deltas."""
+        require_plain(kernel)
+        data, views, n_rows = self.prepare(kernel, db)
+        ranges = self.block_ranges(n_rows)
+        partials = [
+            self.run_block(kernel, data, views, lo, hi) for lo, hi in ranges
+        ]
+        state = fold_vector_state(
+            None, partials, ranges, n_rows, self.block_size, kernel.fingerprint
+        )
+        result = kernel.result_dict(
+            serve_vector_state(state, kernel.plan.num_aggregates)
+        )
+        return result, state
+
+    def run_delta(
+        self, kernel: Kernel, db: Database, state: DeltaVectorState
+    ) -> tuple[dict[str, float], DeltaVectorState]:
+        """Fold the appended root rows into a maintained plain result.
+
+        The caller guarantees the only change since ``state`` was taken
+        is a pure append to the plan's root relation (anything else —
+        non-root changes, multiplicity bumps — needs a full recompute).
+        """
+        require_plain(kernel)
+        check_delta_state(kernel, state)
+        dstate, new_n = self.prepare_delta(kernel, db, state.n_rows)
+        if new_n < state.n_rows:
+            raise ValueError("delta state is ahead of the database (rows shrank)")
+        ranges = delta_ranges(state.n_rows, new_n, self.block_size)
+        partials = [
+            self.run_delta_block(kernel, dstate, lo, hi) for lo, hi in ranges
+        ]
+        new_state = fold_vector_state(
+            state, partials, ranges, new_n, self.block_size, kernel.fingerprint
+        )
+        result = kernel.result_dict(
+            serve_vector_state(new_state, kernel.plan.num_aggregates)
+        )
+        return result, new_state
+
+    def run_groupby_maintained(
+        self, kernel: Kernel, db: Database, predicates=None
+    ) -> tuple[dict, DeltaGroupState]:
+        """Full group-by run that also returns the maintained state."""
+        require_groupby(kernel)
+        gb_state, n_rows = self.prepare_groupby(kernel, db, predicates)
+        layout = gb_state[0]
+        ranges = self.block_ranges(n_rows)
+        partials = [
+            self.run_groupby_block(kernel, gb_state, lo, hi) for lo, hi in ranges
+        ]
+        state = fold_group_state(
+            None,
+            partials,
+            ranges,
+            n_rows,
+            layout.group_keys,
+            kernel.plan.num_aggregates,
+            self.block_size,
+            kernel.fingerprint,
+        )
+        return serve_group_state(state, layout.group_keys), state
+
+    def run_groupby_delta(
+        self, kernel: Kernel, db: Database, state: DeltaGroupState, predicates=None
+    ) -> tuple[dict, DeltaGroupState]:
+        """Fold appended root rows into a maintained group-by result."""
+        require_groupby(kernel)
+        check_delta_state(kernel, state)
+        dstate, new_n = self.prepare_groupby_delta(
+            kernel, db, state.n_rows, predicates
+        )
+        if new_n < state.n_rows:
+            raise ValueError("delta state is ahead of the database (rows shrank)")
+        layout = dstate[0]
+        check_group_coding(state, layout.group_keys)
+        ranges = delta_ranges(state.n_rows, new_n, self.block_size)
+        partials = [
+            self.run_groupby_delta_block(kernel, dstate, lo, hi)
+            for lo, hi in ranges
+        ]
+        new_state = fold_group_state(
+            state,
+            partials,
+            ranges,
+            new_n,
+            layout.group_keys,
+            kernel.plan.num_aggregates,
+            self.block_size,
+            kernel.fingerprint,
+        )
+        return serve_group_state(new_state, layout.group_keys), new_state
+
     # -- cross-process merge hooks ----------------------------------------
 
     def groupby_group_keys(self, kernel: Kernel, db: Database) -> list:
@@ -518,12 +988,14 @@ class NumpyBackend(ExecutionBackend):
         so a worker process folding blocks of its pickled copy produces
         partials indexed by exactly this table — which is what lets the
         parent merge remote partials without shipping key tables back.
+        The *canonical* (fresh-build) table is returned, not the local
+        store's possibly delta-extended one: workers rebuild their
+        stores from scratch after an ingest re-pickles the database.
         """
         require_groupby(kernel)
-        keys, _codes = column_store(db).column_coding(
-            kernel.plan.root.relation, kernel.plan.group_attr
+        return canonical_group_keys(
+            column_store(db), kernel.plan.root.relation, kernel.plan.group_attr
         )
-        return keys
 
     def merge_groupby_partials(self, group_keys: list, partials) -> dict:
         """Merge block partials (local or remote) in canonical order."""

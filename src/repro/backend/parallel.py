@@ -68,6 +68,19 @@ from repro.backend.base import (
     merge_group_results,
     merge_results,
     merge_vectors,
+    require_groupby,
+    require_plain,
+)
+from repro.backend.numpy_backend import (
+    check_delta_state,
+    check_group_coding,
+    check_store_current,
+    delta_ranges,
+    fold_group_state,
+    fold_vector_state,
+    remap_group_partials,
+    serve_group_state,
+    serve_vector_state,
 )
 from repro.backend.layout import LayoutOptions
 from repro.backend.plan import BatchPlan
@@ -317,6 +330,9 @@ class ShardedBackend(ExecutionBackend):
         """Fan shard block-lists out to worker processes; gather partials
         back in canonical block order (the bit-identity contract)."""
         ranges = list(enumerate(self.inner.block_ranges(n_rows)))
+        return self._scatter_ranges(kernel, db, ranges, **kwargs)
+
+    def _scatter_ranges(self, kernel: Kernel, db: Database, ranges, **kwargs):
         assignments = _chunk(ranges, self.shards)
         pool = self._pool()
         futures = [
@@ -359,6 +375,195 @@ class ShardedBackend(ExecutionBackend):
         # the workers' partials exactly.
         group_keys = self.inner.groupby_group_keys(kernel, db)
         return self.inner.merge_groupby_partials(group_keys, ordered)
+
+    # -- delta maintenance (streaming ingest) -----------------------------
+
+    def supports_delta(self) -> bool:
+        """Delta runs need the inner backend's delta block protocol."""
+        probe = getattr(self.inner, "supports_delta", None)
+        return callable(probe) and bool(probe())
+
+    def _run_indexed(self, indexed, fn):
+        """Fold ``(idx, (lo, hi))`` block lists across shard threads and
+        return the partials in canonical block order."""
+        assignments = _chunk(indexed, self.shards)
+        if not assignments:
+            self.last_shard_seconds = []
+            return []
+
+        def run_shard(blocks):
+            started = time.perf_counter()
+            partials = [(idx, fn(lo, hi)) for idx, (lo, hi) in blocks]
+            return partials, time.perf_counter() - started
+
+        if len(assignments) == 1:
+            shard_outputs = [run_shard(assignments[0])]
+        else:
+            with ThreadPoolExecutor(max_workers=len(assignments)) as pool:
+                shard_outputs = list(pool.map(run_shard, assignments))
+        self.last_shard_seconds = [seconds for _, seconds in shard_outputs]
+        by_index = {idx: part for partials, _ in shard_outputs for idx, part in partials}
+        return [by_index[idx] for idx, _ in indexed]
+
+    def _finish_vector(self, kernel, prev, ordered, ranges, n_rows):
+        state = fold_vector_state(
+            prev, ordered, ranges, n_rows, self.inner.block_size, kernel.fingerprint
+        )
+        result = kernel.result_dict(
+            serve_vector_state(state, kernel.plan.num_aggregates)
+        )
+        return result, state
+
+    def _finish_group(self, kernel, prev, ordered, ranges, n_rows, group_keys):
+        if prev is not None:
+            check_group_coding(prev, group_keys)
+        state = fold_group_state(
+            prev,
+            ordered,
+            ranges,
+            n_rows,
+            group_keys,
+            kernel.plan.num_aggregates,
+            self.inner.block_size,
+            kernel.fingerprint,
+        )
+        return serve_group_state(state, group_keys), state
+
+    def _remap_remote(self, kernel, db, ordered):
+        """Re-index worker partials onto the parent's (possibly
+        delta-extended) group coding before folding into state."""
+        layout = self.inner.prepared_layout(kernel, db)
+        canonical = self.inner.groupby_group_keys(kernel, db)
+        return remap_group_partials(ordered, canonical, layout.group_keys), layout
+
+    def run_maintained(self, kernel: Kernel, db: Database):
+        """Full sharded run that also returns the maintained state."""
+        require_plain(kernel)
+        inner = self.inner
+        if self.mode == "process" and self._supports_blocks(kernel):
+            from repro.backend.process_pool import TaskNotPicklable
+
+            try:
+                n_rows = self._root_rows(kernel, db)
+                ordered = self._scatter_blocks(kernel, db, n_rows)
+                return self._finish_vector(
+                    kernel, None, ordered, inner.block_ranges(n_rows), n_rows
+                )
+            except TaskNotPicklable:
+                pass
+        data, views, n_rows = inner.prepare(kernel, db)
+        indexed = list(enumerate(inner.block_ranges(n_rows)))
+        ordered = self._run_indexed(
+            indexed, lambda lo, hi: inner.run_block(kernel, data, views, lo, hi)
+        )
+        return self._finish_vector(
+            kernel, None, ordered, [r for _, r in indexed], n_rows
+        )
+
+    def run_delta(self, kernel: Kernel, db: Database, state):
+        """Fold the appended root rows into a maintained plain result,
+        sharding the delta blocks like any other run."""
+        require_plain(kernel)
+        check_delta_state(kernel, state)
+        inner = self.inner
+        check_store_current(inner.prepared_layout(kernel, db), db)
+        new_n = self._root_rows(kernel, db)
+        if new_n < state.n_rows:
+            raise ValueError("delta state is ahead of the database (rows shrank)")
+        ranges = delta_ranges(state.n_rows, new_n, inner.block_size)
+        indexed = list(enumerate(ranges))
+        if self.mode == "process":
+            from repro.backend.process_pool import TaskNotPicklable
+
+            try:
+                ordered = self._scatter_ranges(kernel, db, indexed)
+                return self._finish_vector(kernel, state, ordered, ranges, new_n)
+            except TaskNotPicklable:
+                pass
+        dstate, _ = inner.prepare_delta(kernel, db, state.n_rows)
+        ordered = self._run_indexed(
+            indexed, lambda lo, hi: inner.run_delta_block(kernel, dstate, lo, hi)
+        )
+        return self._finish_vector(kernel, state, ordered, ranges, new_n)
+
+    def run_groupby_maintained(self, kernel: Kernel, db: Database, predicates=None):
+        """Full sharded group-by run returning the maintained state."""
+        require_groupby(kernel)
+        inner = self.inner
+        if self.mode == "process" and self._supports_groupby_merge():
+            from repro.backend.process_pool import TaskNotPicklable
+            from repro.serving.requests import predicate_key
+
+            try:
+                n_rows = self._root_rows(kernel, db)
+                ordered = self._scatter_blocks(
+                    kernel,
+                    db,
+                    n_rows,
+                    groupby=True,
+                    predicates=predicates,
+                    pred_key=predicate_key(predicates),
+                )
+                ordered, layout = self._remap_remote(kernel, db, ordered)
+                return self._finish_group(
+                    kernel,
+                    None,
+                    ordered,
+                    inner.block_ranges(n_rows),
+                    n_rows,
+                    layout.group_keys,
+                )
+            except TaskNotPicklable:
+                pass
+        gb_state, n_rows = inner.prepare_groupby(kernel, db, predicates)
+        layout = gb_state[0]
+        indexed = list(enumerate(inner.block_ranges(n_rows)))
+        ordered = self._run_indexed(
+            indexed, lambda lo, hi: inner.run_groupby_block(kernel, gb_state, lo, hi)
+        )
+        return self._finish_group(
+            kernel, None, ordered, [r for _, r in indexed], n_rows, layout.group_keys
+        )
+
+    def run_groupby_delta(self, kernel: Kernel, db: Database, state, predicates=None):
+        """Fold appended root rows into a maintained group-by result."""
+        require_groupby(kernel)
+        check_delta_state(kernel, state)
+        inner = self.inner
+        check_store_current(inner.prepared_layout(kernel, db), db)
+        new_n = self._root_rows(kernel, db)
+        if new_n < state.n_rows:
+            raise ValueError("delta state is ahead of the database (rows shrank)")
+        ranges = delta_ranges(state.n_rows, new_n, inner.block_size)
+        indexed = list(enumerate(ranges))
+        if self.mode == "process" and self._supports_groupby_merge():
+            from repro.backend.process_pool import TaskNotPicklable
+            from repro.serving.requests import predicate_key
+
+            try:
+                ordered = self._scatter_ranges(
+                    kernel,
+                    db,
+                    indexed,
+                    groupby=True,
+                    predicates=predicates,
+                    pred_key=predicate_key(predicates),
+                )
+                ordered, layout = self._remap_remote(kernel, db, ordered)
+                return self._finish_group(
+                    kernel, state, ordered, ranges, new_n, layout.group_keys
+                )
+            except TaskNotPicklable:
+                pass
+        dstate, _ = inner.prepare_groupby_delta(kernel, db, state.n_rows, predicates)
+        layout = dstate[0]
+        ordered = self._run_indexed(
+            indexed,
+            lambda lo, hi: inner.run_groupby_delta_block(kernel, dstate, lo, hi),
+        )
+        return self._finish_group(
+            kernel, state, ordered, ranges, new_n, layout.group_keys
+        )
 
     # -- sub-database path (engine / C++) --------------------------------
 

@@ -317,8 +317,9 @@ class ProcessKernelExecutor(Executor):
         # thread triggers collection, possibly one already holding it.
         self._lock = threading.RLock()
         self._next_token = 0
-        #: id(db) → (weakref, token); weakly keyed like the column store
-        self._db_tokens: dict[int, tuple[weakref.ref, int]] = {}
+        #: id(db) → (weakref, token, version vector); weakly keyed like
+        #: the column store, retired when the version vector moves
+        self._db_tokens: dict[int, tuple[weakref.ref, int, tuple]] = {}
         #: id(backend) → (backend, token); strong — backends are tiny
         self._backend_tokens: dict[int, tuple[ExecutionBackend, int]] = {}
         #: tokens of collected databases not yet evicted from every worker
@@ -359,11 +360,23 @@ class ProcessKernelExecutor(Executor):
         return self._next_token
 
     def db_token(self, db: Database) -> int:
-        """The pool-wide token for ``db``; registered lazily per worker."""
+        """The pool-wide token for ``db``; registered lazily per worker.
+
+        Tokens are **version-aware**: a registration remembers the
+        database's ingest version vector, so after ``append_rows`` the
+        stale worker pickles are retired and the next task ships the
+        mutated database under a fresh token — streaming ingest
+        propagates to workers without explicit eviction calls.
+        """
         with self._lock:
             entry = self._db_tokens.get(id(db))
+            version = db.version_vector()
             if entry is not None and entry[0]() is db:
-                return entry[1]
+                if entry[2] == version:
+                    return entry[1]
+                # Same object, new data: retire the old worker copies.
+                if any(entry[1] in h.dbs for h in self._handles):
+                    self._dead_tokens.add(entry[1])
             token = self._token()
             key = id(db)
 
@@ -375,7 +388,7 @@ class ProcessKernelExecutor(Executor):
                     self_._db_tokens.pop(_key, None)
                     self_._dead_tokens.add(_token)
 
-            self._db_tokens[key] = (weakref.ref(db, _on_collect), token)
+            self._db_tokens[key] = (weakref.ref(db, _on_collect), token, version)
             return token
 
     def _backend_token(self, backend: ExecutionBackend) -> int:

@@ -2,12 +2,12 @@
 
 from repro.db.database import Database
 from repro.db.query import JoinQuery, join_as_ifaq, materialize_join
-from repro.db.relation import Relation
+from repro.db.relation import AppendDelta, Relation
 from repro.db.schema import Attribute, DatabaseSchema, RelationSchema
 from repro.db.trie import SortedTrie, build_sorted_trie, build_trie
 
 __all__ = [
-    "Attribute", "Database", "DatabaseSchema", "JoinQuery", "Relation",
-    "RelationSchema", "SortedTrie", "build_sorted_trie", "build_trie",
-    "join_as_ifaq", "materialize_join",
+    "AppendDelta", "Attribute", "Database", "DatabaseSchema", "JoinQuery",
+    "Relation", "RelationSchema", "SortedTrie", "build_sorted_trie",
+    "build_trie", "join_as_ifaq", "materialize_join",
 ]

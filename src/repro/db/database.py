@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
 
-from repro.db.relation import Relation
+from repro.db.relation import AppendDelta, Relation
 from repro.db.schema import DatabaseSchema
 from repro.runtime.values import DictValue
 
@@ -17,9 +17,17 @@ class Database:
     ``to_env`` exposes the database as an interpreter environment, so
     IFAQ programs refer to relations as free variables (the paper's
     ``S``, ``R``, ``I`` in Example 3.1).
+
+    Databases are immutable between executions **except** through
+    :meth:`append_rows`, the streaming-ingest seam: it appends to one
+    relation in place and bumps that relation's version counter, so
+    caches keyed by ``(database, version_vector)`` can tell fresh data
+    from stale without requiring a whole new database object.
     """
 
     relations: dict[str, Relation] = field(default_factory=dict)
+    #: per-relation ingest version counters (missing = 0, the seed data)
+    versions: dict[str, int] = field(default_factory=dict)
 
     @staticmethod
     def of(*relations: Relation) -> "Database":
@@ -27,6 +35,34 @@ class Database:
 
     def add(self, relation: Relation) -> None:
         self.relations[relation.name] = relation
+
+    # -- streaming ingest --------------------------------------------------
+
+    def append_rows(self, relation: str, rows: Iterable[tuple]) -> AppendDelta:
+        """Append rows to one relation in place and bump its version.
+
+        Returns the :class:`~repro.db.relation.AppendDelta` describing
+        the change; ``delta.pure_append`` tells incremental consumers
+        whether existing records were left untouched (arrays may be
+        extended) or rewritten (caches must rebuild).
+        """
+        delta = self.relation(relation).append_rows(rows)
+        self.versions[relation] = self.versions.get(relation, 0) + 1
+        return delta
+
+    def relation_version(self, name: str) -> int:
+        return self.versions.get(name, 0)
+
+    def version_vector(self) -> tuple[tuple[str, int], ...]:
+        """The per-relation versions as a hashable, order-stable tuple.
+
+        Part of cache identities (the serving layer's coalescing keys):
+        two requests over the same database object only share work when
+        their version vectors agree.
+        """
+        return tuple(
+            (name, self.versions.get(name, 0)) for name in sorted(self.relations)
+        )
 
     def relation(self, name: str) -> Relation:
         try:

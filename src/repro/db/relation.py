@@ -22,6 +22,35 @@ from repro.db.schema import RelationSchema
 from repro.runtime.values import DictValue, RecordValue
 
 
+@dataclass(frozen=True)
+class AppendDelta:
+    """What one :meth:`Relation.append_rows` call changed.
+
+    ``fresh`` counts *new distinct records* (appended at the end of the
+    bag in insertion order — the property incremental consumers rely
+    on); ``bumped`` counts rows that raised the multiplicity of a
+    record that existed *before* the append.  A pure append
+    (``bumped == 0``) leaves every pre-existing record's position and
+    multiplicity untouched, so columnar caches can extend their arrays
+    in place; a bump rewrites history and forces a rebuild.
+    """
+
+    relation: str
+    #: distinct records before the append
+    old_records: int
+    #: distinct records after the append
+    new_records: int
+    #: rows absorbed by the appended tail (new records, or duplicates
+    #: of a record this same batch created)
+    fresh: int
+    #: rows that bumped a record existing before this append
+    bumped: int
+
+    @property
+    def pure_append(self) -> bool:
+        return self.bumped == 0
+
+
 @dataclass
 class Relation:
     """A named relation: schema plus a bag of tuples.
@@ -56,6 +85,50 @@ class Relation:
         """Build from attribute-name dictionaries."""
         names = schema.attribute_names()
         return Relation.from_rows(schema, (tuple(r[n] for n in names) for r in rows))
+
+    # -- streaming ingest --------------------------------------------------
+
+    def append_rows(self, rows: Iterable[tuple]) -> AppendDelta:
+        """Append positional tuples in place (bag union).
+
+        Dict insertion order means new distinct records land *after*
+        every existing record, so ``list(data)`` keeps its old prefix
+        verbatim — the invariant the column store's delta extension
+        and the backends' delta-run protocol build on.  Rows equal to a
+        pre-existing record bump its multiplicity instead (reported as
+        ``bumped``; such an append is not a pure extension and
+        downstream caches must rebuild).  Duplicates *within* the
+        appended batch stay pure: they raise the multiplicity of a
+        record that is itself part of the appended tail.
+        """
+        names = self.schema.attribute_names()
+        old_records = len(self.data)
+        fresh = bumped = 0
+        batch_new: set[RecordValue] = set()
+        for row in rows:
+            if len(row) != len(names):
+                raise ValueError(
+                    f"row arity {len(row)} does not match schema "
+                    f"{self.schema.name!r} with {len(names)} attributes"
+                )
+            rec = RecordValue(zip(names, row))
+            if rec in self.data:
+                self.data[rec] += 1
+                if rec in batch_new:
+                    fresh += 1  # duplicate of a record this batch created
+                else:
+                    bumped += 1
+            else:
+                self.data[rec] = 1
+                batch_new.add(rec)
+                fresh += 1
+        return AppendDelta(
+            relation=self.schema.name,
+            old_records=old_records,
+            new_records=len(self.data),
+            fresh=fresh,
+            bumped=bumped,
+        )
 
     # -- basic accessors -------------------------------------------------
 

@@ -7,10 +7,13 @@ Layer map::
     stats.py      ServiceStats / FingerprintStats counters
     service.py    AggregateService: asyncio front end with per-fingerprint
                   request coalescing, adaptive group-by fusion, a bounded
-                  worker pool, and database registration/eviction hooks
+                  worker pool, database registration/eviction hooks, and
+                  streaming ingest maintaining cached results as
+                  materialized views (delta folds, not recomputes)
 
-See ``docs/SERVING.md`` for the end-to-end tour and
-``examples/serving_tour.py`` for a runnable quickstart.
+See ``docs/SERVING.md`` for the end-to-end tour,
+``examples/serving_tour.py`` for a runnable quickstart, and
+``examples/streaming_ingest.py`` for the ingest path.
 """
 
 from repro.serving.requests import (
@@ -23,6 +26,7 @@ from repro.serving.requests import (
 from repro.serving.service import (
     DEFAULT_MAX_FUSE,
     DEFAULT_SERVICE_WORKERS,
+    MAX_VIEWS_PER_DB,
     AggregateService,
     DatabaseNotRegistered,
 )
@@ -36,6 +40,7 @@ __all__ = [
     "DatabaseNotRegistered",
     "FingerprintStats",
     "GroupByRequest",
+    "MAX_VIEWS_PER_DB",
     "MultiGroupByRequest",
     "Request",
     "ServiceStats",

@@ -45,6 +45,17 @@ run, if the summed ``approx_bytes`` of every registration's column
 stores exceeds the budget, stores are trimmed LRU — δ-filtered copies
 first, then whole stores of the least-recently-used databases — and
 rebuilt lazily on next touch.
+
+Registered databases also take **streaming ingest**
+(:meth:`AggregateService.ingest`): appended rows extend the shared
+column store in place and every cached per-fingerprint result — a
+maintained materialized view holding backend delta state — is
+refreshed by folding only the appended block range when the append is
+delta-eligible (pure append to the view's plan root on a
+delta-capable backend), falling back to a full recompute otherwise.
+A per-database writer barrier keeps readers off the store while it
+mutates, and coalescing keys carry the database's relation-version
+vector so requests straddling an ingest never share a run.
 """
 
 from __future__ import annotations
@@ -52,6 +63,7 @@ from __future__ import annotations
 import asyncio
 import os
 from collections import deque
+from time import perf_counter
 from concurrent.futures import Executor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
@@ -85,8 +97,71 @@ DEFAULT_SERVICE_WORKERS = max(1, os.cpu_count() or 1)
 DEFAULT_MAX_FUSE = 16
 
 
+#: Ceiling on maintained materialized views per registration.
+MAX_VIEWS_PER_DB = 64
+
+
 class DatabaseNotRegistered(KeyError):
     """The request names a database the service does not know."""
+
+
+class _WriteBarrier:
+    """A readers-writer gate for one registered database.
+
+    Kernel runs are readers: any number proceed concurrently.  An
+    ingest is the writer: it closes the gate (new runs queue), waits
+    for the running readers to drain, mutates the database and its
+    column store, refreshes the maintained views, then reopens the
+    gate.  Everything happens on the event loop, so no locks — just
+    two events and a counter.
+    """
+
+    def __init__(self) -> None:
+        self._gate = asyncio.Event()
+        self._gate.set()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._running = 0
+
+    async def reader_enter(self) -> None:
+        while not self._gate.is_set():
+            await self._gate.wait()
+        self._running += 1
+        self._idle.clear()
+
+    def reader_exit(self) -> None:
+        self._running -= 1
+        if self._running == 0:
+            self._idle.set()
+
+    async def writer_enter(self) -> None:
+        self._gate.clear()
+        await self._idle.wait()
+
+    def writer_exit(self) -> None:
+        self._gate.set()
+
+
+@dataclass
+class _View:
+    """One maintained materialized view: a cached result kept fresh.
+
+    ``state`` is the backend's maintained delta state
+    (:class:`~repro.backend.numpy_backend.DeltaVectorState` /
+    ``DeltaGroupState``) when the run that produced ``result`` captured
+    one; ingest uses it to fold appended rows in instead of
+    recomputing.  View objects are replaced wholesale on refresh, so a
+    concurrent reader sees either the old or the new view, never a
+    half-updated one.
+    """
+
+    kind: str  # "plain" | "groupby"
+    plan: BatchPlan
+    fingerprint: str
+    pred_key: tuple
+    predicates: Any
+    result: Any
+    state: Any = None
 
 
 @dataclass
@@ -109,6 +184,33 @@ class _Registration:
     filtered_dbs: dict = field(default_factory=dict)
     #: loop time of the last dispatched run (the store-trim LRU order)
     last_used: float = 0.0
+    #: (fingerprint, pred_key) → maintained materialized view
+    views: dict[tuple, _View] = field(default_factory=dict)
+    #: readers-writer gate serializing ingests against kernel runs
+    barrier: _WriteBarrier = field(default_factory=_WriteBarrier)
+    #: serializes concurrent ingest() calls for this database
+    write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+
+    def drop_view_states(self) -> None:
+        """Forget delta states (kept results stay servable).
+
+        Called when this database's column store is evicted: group
+        delta states are coded against the store's (possibly extended)
+        group coding, which a rebuilt store does not reproduce once
+        unseen group values have been appended.  The next ingest falls
+        back to one full recompute per view and re-establishes state.
+        """
+        for key, view in list(self.views.items()):
+            if view.state is not None:
+                self.views[key] = _View(
+                    kind=view.kind,
+                    plan=view.plan,
+                    fingerprint=view.fingerprint,
+                    pred_key=view.pred_key,
+                    predicates=view.predicates,
+                    result=view.result,
+                    state=None,
+                )
 
 
 @dataclass
@@ -124,6 +226,9 @@ class _Inflight:
     pred_key: tuple
     future: asyncio.Future
     enqueued: float
+    #: maintained delta state captured by the run (thread path only;
+    #: process-path runs leave it None and ingest re-establishes state)
+    view_state: Any = None
 
 
 def _copy_result(kind: str, result):
@@ -201,6 +306,9 @@ class AggregateService:
         self.fuse = fuse
         self.max_fuse = max_fuse
         self.copy_results = copy_results
+        probe = getattr(self.backend, "supports_delta", None)
+        #: whether the backend speaks the maintained/delta-run protocol
+        self._delta_backend = bool(callable(probe) and probe())
         self.stats = ServiceStats()
         if store_budget_bytes is None:
             raw = os.environ.get("IFAQ_STORE_BUDGET_BYTES")
@@ -256,7 +364,14 @@ class AggregateService:
         layout and column store already relies on.  Registration hooks
         (:meth:`add_hooks`) fire after the tree is built.
         """
-        if name in self._dbs and not replace:
+        existing = self._dbs.get(name)
+        if existing is not None and not replace:
+            if existing.db is db:
+                # Idempotent re-registration: the exact database object
+                # is already live — keep its plans, maintained views and
+                # delta states rather than rebuilding the registration.
+                self.stats.reregistrations += 1
+                return
             raise ValueError(
                 f"database {name!r} is already registered; pass replace=True"
             )
@@ -337,14 +452,24 @@ class AggregateService:
         pred_key = predicate_key(request.predicates)
         # The registration generation keeps requests arriving after a
         # replace/evict+re-register from coalescing onto executions
-        # still running against the previous database.
-        key = (reg.name, reg.generation, fingerprint, pred_key)
+        # still running against the previous database; the relation
+        # version vector does the same across ingests, so stale and
+        # fresh requests never share a run.
+        key = (reg.name, reg.generation, reg.db.version_vector(), fingerprint, pred_key)
 
         self.stats.requests += 1
         fp_stats = self.stats.fingerprint(fingerprint)
         fp_stats.requests += 1
 
         if self.coalesce:
+            view = reg.views.get((fingerprint, pred_key))
+            if view is not None:
+                # Maintained materialized view: ingest refreshes it
+                # under the write barrier, so the cached result is the
+                # current answer — no kernel run at all.
+                self.stats.view_hits += 1
+                reg.last_used = asyncio.get_running_loop().time()
+                return _copy_result(kind, view.result) if self.copy_results else view.result
             existing = self._inflight.get(key)
             if existing is not None:
                 self.stats.coalesced += 1
@@ -376,6 +501,171 @@ class AggregateService:
     async def submit_many(self, requests: Iterable[Request]) -> list:
         """Submit requests concurrently and gather their results in order."""
         return list(await asyncio.gather(*(self.submit(r) for r in requests)))
+
+    # -- streaming ingest ----------------------------------------------------
+
+    async def ingest(self, database: str, relation: str, rows: Iterable[tuple]) -> dict:
+        """Append ``rows`` to ``relation`` of ``database`` and keep every
+        maintained view fresh.
+
+        The ingest is a *writer* on the registration's barrier: it
+        waits for running kernel executions to drain (queued ones hold
+        at the gate), then — off the event loop — appends the rows,
+        extends (pure append) or invalidates (key collisions) the
+        shared column store, drops the now-stale δ-filtered copies, and
+        refreshes every maintained view: incrementally via the
+        backend's delta protocol when the appended relation is the
+        view's plan root and a delta state exists, by full recompute
+        otherwise.  Requests submitted while the writer holds the
+        barrier either serve from a view (pre- or post-refresh object,
+        never a torn one) or queue until the gate reopens.
+
+        Returns a report dict: ``rows``, ``relation``, ``pure_append``,
+        ``delta_runs``, ``full_recomputes``, ``delta_seconds``,
+        ``full_seconds``.
+        """
+        if self._closed:
+            raise RuntimeError("AggregateService is closed")
+        reg = self._dbs.get(database)
+        if reg is None:
+            raise DatabaseNotRegistered(
+                f"database {database!r} is not registered "
+                f"(registered: {', '.join(self._dbs) or 'none'})"
+            )
+        rows = list(rows)
+        loop = asyncio.get_running_loop()
+        async with reg.write_lock:
+            await reg.barrier.writer_enter()
+            try:
+                report = await loop.run_in_executor(
+                    None, self._apply_ingest, reg, relation, rows
+                )
+            finally:
+                reg.barrier.writer_exit()
+        self.stats.ingests += 1
+        self.stats.ingest_rows += report["rows"]
+        self.stats.delta_runs += report["delta_runs"]
+        self.stats.full_recomputes += report["full_recomputes"]
+        self.stats.delta_seconds_total += report["delta_seconds"]
+        self.stats.full_seconds_total += report["full_seconds"]
+        return report
+
+    def _apply_ingest(self, reg: _Registration, relation: str, rows: list) -> dict:
+        """Blocking half of :meth:`ingest` (runs off the event loop)."""
+        delta = reg.db.append_rows(relation, rows)
+        store = peek_column_store(reg.db)
+        if store is not None:
+            if delta.pure_append:
+                store.extend_relation(relation)
+            else:
+                store.invalidate_relation(relation)
+        # δ-filtered copies are snapshots of the pre-ingest data.
+        for filtered in reg.filtered_dbs.values():
+            evict_column_store(filtered)
+        reg.filtered_dbs.clear()
+        # Plan memos are kept: plans stay valid under appends, and a
+        # stable plan keeps the fingerprint — and with it the view key
+        # and every coalescing key — stable across ingests.
+        report = {
+            "rows": len(rows),
+            "relation": relation,
+            "pure_append": delta.pure_append,
+            "delta_runs": 0,
+            "full_recomputes": 0,
+            "delta_seconds": 0.0,
+            "full_seconds": 0.0,
+        }
+        self._refresh_views(reg, relation, delta.pure_append, report)
+        return report
+
+    def _refresh_views(
+        self, reg: _Registration, relation: str, pure_append: bool, report: dict
+    ) -> None:
+        """Bring every maintained view up to date after an append.
+
+        A view refreshes incrementally when the append was pure, the
+        appended relation is the view's plan root (appends to non-root
+        relations change join results for *existing* root rows, which
+        a root-tail delta cannot express), the backend speaks the delta
+        protocol, and the view holds a state.  Anything else — and any
+        delta run the backend rejects (state fingerprint mismatch,
+        rebuilt store) — falls back to one timed full recompute, which
+        also re-establishes the delta state for the next ingest.
+        """
+        for key, view in list(reg.views.items()):
+            kernel = self.kernel_cache.get_or_compile(
+                self.backend, view.plan, self.layout
+            )
+            started = perf_counter()
+            refreshed = None
+            if (
+                pure_append
+                and self._delta_backend
+                and view.state is not None
+                and view.plan.root.relation == relation
+            ):
+                try:
+                    if view.kind == "plain":
+                        refreshed = self.backend.run_delta(kernel, reg.db, view.state)
+                    else:
+                        refreshed = self.backend.run_groupby_delta(
+                            kernel, reg.db, view.state, view.predicates
+                        )
+                except ValueError:
+                    refreshed = None  # stale/foreign state: recompute
+            if refreshed is not None:
+                result, state = refreshed
+                report["delta_runs"] += 1
+                report["delta_seconds"] += perf_counter() - started
+            else:
+                result, state = self._full_refresh(kernel, reg, view)
+                report["full_recomputes"] += 1
+                report["full_seconds"] += perf_counter() - started
+            reg.views[key] = _View(
+                kind=view.kind,
+                plan=view.plan,
+                fingerprint=view.fingerprint,
+                pred_key=view.pred_key,
+                predicates=view.predicates,
+                result=result,
+                state=state,
+            )
+
+    def _full_refresh(self, kernel, reg: _Registration, view: _View):
+        """Recompute one view from scratch, capturing fresh delta state
+        when the backend supports maintained runs."""
+        if self._delta_backend:
+            if view.kind == "plain":
+                return self.backend.run_maintained(kernel, reg.db)
+            return self.backend.run_groupby_maintained(kernel, reg.db, view.predicates)
+        if view.kind == "plain":
+            return self.backend.execute(kernel, reg.db), None
+        return self.backend.run_groupby(kernel, reg.db, view.predicates), None
+
+    def _store_view(self, entry: _Inflight, result) -> None:
+        """Cache one completed single-entry run as a maintained view.
+
+        Plain runs with δ predicates execute against a filtered *copy*
+        of the database, so they cannot be maintained in place; fused
+        and multi runs capture no delta state and are skipped too.
+        """
+        if not self.coalesce or entry.kind == "multi":
+            return
+        if entry.kind == "plain" and entry.predicates:
+            return
+        reg = entry.registration
+        key = (entry.fingerprint, entry.pred_key)
+        if key not in reg.views and len(reg.views) >= MAX_VIEWS_PER_DB:
+            reg.views.pop(next(iter(reg.views)))
+        reg.views[key] = _View(
+            kind=entry.kind,
+            plan=entry.plan,
+            fingerprint=entry.fingerprint,
+            pred_key=entry.pred_key,
+            predicates=entry.predicates,
+            result=result,
+            state=entry.view_state,
+        )
 
     # -- planning -----------------------------------------------------------
 
@@ -437,6 +727,8 @@ class AggregateService:
             for entry in batch:
                 self.stats.record_queue_latency(now - entry.enqueued)
             batch[0].registration.last_used = now
+            barrier = batch[0].registration.barrier
+            await barrier.reader_enter()
             try:
                 if len(batch) == 1:
                     entry = batch[0]
@@ -464,7 +756,13 @@ class AggregateService:
                     if not entry.future.done():
                         entry.future.set_result(result)
                 self.stats.completed += len(batch)
+                if len(batch) == 1:
+                    # Views are stored before reader_exit, so an ingest
+                    # waiting on the barrier sees them and keeps them
+                    # fresh from its very first append.
+                    self._store_view(batch[0], results[0])
             finally:
+                barrier.reader_exit()
                 for entry in batch:
                     self._inflight.pop(entry.key, None)
                 self._maybe_trim_stores()
@@ -574,8 +872,17 @@ class AggregateService:
                             break
                         evict_column_store(old)
                     reg.filtered_dbs[entry.pred_key] = db
+                return self.backend.execute(kernel, db)
+            if self._delta_backend and self.coalesce:
+                result, entry.view_state = self.backend.run_maintained(kernel, db)
+                return result
             return self.backend.execute(kernel, db)
         if entry.kind == "groupby":
+            if self._delta_backend and self.coalesce:
+                result, entry.view_state = self.backend.run_groupby_maintained(
+                    kernel, reg.db, entry.predicates
+                )
+                return result
             return self.backend.run_groupby(kernel, reg.db, entry.predicates)
         results = self.backend.run_groupby_many(kernel, reg.db, entry.predicates)
         return dict(zip(entry.plan.group_attr, results))
@@ -625,6 +932,10 @@ class AggregateService:
             if evict_column_store(reg.db) and freed:
                 total -= freed
                 self.stats.store_trims += 1
+                # Group delta states are coded against the evicted
+                # store's (possibly extended) group coding; a rebuilt
+                # store won't reproduce it once new group values exist.
+                reg.drop_view_states()
 
     # -- reporting / lifecycle ----------------------------------------------
 
@@ -637,6 +948,7 @@ class AggregateService:
             databases[name] = {
                 "relations": len(reg.db.relations),
                 "plans": len(reg.plans),
+                "views": len(reg.views),
                 "column_store": store.stats() if store is not None else None,
             }
         return {

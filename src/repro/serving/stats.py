@@ -56,6 +56,23 @@ class ServiceStats:
     fused_runs: int = 0
     #: column stores evicted by the byte-budget LRU trim policy
     store_trims: int = 0
+    #: requests answered straight from a maintained materialized view
+    view_hits: int = 0
+    #: ingest batches applied via AggregateService.ingest
+    ingests: int = 0
+    #: rows appended across all ingests
+    ingest_rows: int = 0
+    #: maintained views refreshed by an incremental delta run
+    delta_runs: int = 0
+    #: maintained views refreshed by a full recompute (non-root or
+    #: non-pure ingests, or backends without the delta protocol)
+    full_recomputes: int = 0
+    #: register_database calls absorbed as idempotent re-registrations
+    reregistrations: int = 0
+    #: wall-clock seconds spent in delta maintenance runs
+    delta_seconds_total: float = 0.0
+    #: wall-clock seconds spent in ingest-time full recomputes
+    full_seconds_total: float = 0.0
     #: seconds requests spent queued before their execution started
     queue_seconds_total: float = 0.0
     queue_seconds_max: float = 0.0
@@ -74,6 +91,20 @@ class ServiceStats:
         if not self.requests:
             return 0.0
         return (self.coalesced + max(0, self.fused_requests - self.fused_runs)) / self.requests
+
+    @property
+    def delta_speedup(self) -> float:
+        """Mean full-recompute seconds over mean delta-run seconds.
+
+        The ingest-path headline number: how much cheaper maintaining a
+        view incrementally is than recomputing it.  0.0 until both
+        paths have run at least once.
+        """
+        if not self.delta_runs or not self.full_recomputes:
+            return 0.0
+        delta_mean = self.delta_seconds_total / self.delta_runs
+        full_mean = self.full_seconds_total / self.full_recomputes
+        return full_mean / delta_mean if delta_mean > 0 else 0.0
 
     def reset(self) -> None:
         """Zero every counter (benchmarks separating warmup from measurement)."""
@@ -94,6 +125,15 @@ class ServiceStats:
             "runs": self.runs,
             "fused_runs": self.fused_runs,
             "store_trims": self.store_trims,
+            "view_hits": self.view_hits,
+            "ingests": self.ingests,
+            "ingest_rows": self.ingest_rows,
+            "delta_runs": self.delta_runs,
+            "full_recomputes": self.full_recomputes,
+            "reregistrations": self.reregistrations,
+            "delta_seconds_total": round(self.delta_seconds_total, 6),
+            "full_seconds_total": round(self.full_seconds_total, 6),
+            "delta_speedup": round(self.delta_speedup, 4),
             "coalesce_rate": round(self.coalesce_rate, 4),
             "queue_seconds_total": round(self.queue_seconds_total, 6),
             "queue_seconds_max": round(self.queue_seconds_max, 6),

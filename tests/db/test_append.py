@@ -1,0 +1,91 @@
+"""Streaming-append semantics: Relation/Database.append_rows.
+
+The invariant everything downstream builds on: a pure append leaves
+``list(relation.data)`` with its old prefix verbatim and the new
+distinct records at the end, in insertion order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.db import Database, Relation, RelationSchema
+from repro.ir.types import INT, REAL
+
+
+def sales_relation():
+    return Relation.from_rows(
+        RelationSchema.of("S", [("item", INT), ("store", INT), ("units", REAL)]),
+        [(0, 0, 1.0), (1, 0, 2.0), (0, 1, 3.0)],
+    )
+
+
+class TestRelationAppend:
+    def test_pure_append_extends_record_order(self):
+        rel = sales_relation()
+        before = list(rel.data)
+        delta = rel.append_rows([(2, 1, 4.0), (3, 0, 5.0)])
+        assert delta.pure_append
+        assert delta.fresh == 2 and delta.bumped == 0
+        assert delta.old_records == 3 and delta.new_records == 5
+        after = list(rel.data)
+        assert after[: len(before)] == before  # old prefix untouched
+        assert len(after) == 5
+
+    def test_duplicate_of_existing_record_is_a_bump(self):
+        rel = sales_relation()
+        delta = rel.append_rows([(0, 0, 1.0)])  # equals an existing record
+        assert not delta.pure_append
+        assert delta.bumped == 1 and delta.fresh == 0
+        assert rel.data[list(rel.data)[0]] == 2  # multiplicity raised
+
+    def test_within_batch_duplicates_stay_pure(self):
+        rel = sales_relation()
+        delta = rel.append_rows([(7, 7, 9.0), (7, 7, 9.0)])
+        assert delta.pure_append
+        assert delta.fresh == 2 and delta.bumped == 0
+        assert delta.new_records == delta.old_records + 1
+        assert rel.data[list(rel.data)[-1]] == 2
+
+    def test_arity_mismatch_raises(self):
+        rel = sales_relation()
+        with pytest.raises(ValueError, match="arity"):
+            rel.append_rows([(1, 2)])
+
+
+class TestDatabaseAppend:
+    def test_append_bumps_only_that_relations_version(self):
+        db = Database.of(
+            sales_relation(),
+            Relation.from_rows(
+                RelationSchema.of("R", [("store", INT), ("cityf", REAL)]),
+                [(0, 1.5), (1, 2.5)],
+            ),
+        )
+        assert db.relation_version("S") == 0
+        delta = db.append_rows("S", [(5, 1, 6.0)])
+        assert delta.relation == "S" and delta.pure_append
+        assert db.relation_version("S") == 1
+        assert db.relation_version("R") == 0
+        db.append_rows("S", [(6, 0, 7.0)])
+        assert db.relation_version("S") == 2
+
+    def test_version_vector_is_sorted_and_hashable(self):
+        db = Database.of(
+            sales_relation(),
+            Relation.from_rows(
+                RelationSchema.of("R", [("store", INT), ("cityf", REAL)]),
+                [(0, 1.5)],
+            ),
+        )
+        v0 = db.version_vector()
+        assert v0 == (("R", 0), ("S", 0))
+        hash(v0)  # usable inside coalescing keys
+        db.append_rows("R", [(9, 3.5)])
+        assert db.version_vector() == (("R", 1), ("S", 0))
+        assert db.version_vector() != v0
+
+    def test_unknown_relation_raises(self):
+        db = Database.of(sales_relation())
+        with pytest.raises(KeyError):
+            db.append_rows("missing", [(1, 2, 3.0)])

@@ -50,6 +50,16 @@ class CountingNumpyBackend(NumpyBackend):
         self.groupby_many_calls += 1
         return super().run_groupby_many(kernel, db, predicates)
 
+    # Maintained runs are kernel executions too (the service prefers
+    # them when the backend speaks the delta protocol).
+    def run_maintained(self, kernel, db):
+        self.execute_calls += 1
+        return super().run_maintained(kernel, db)
+
+    def run_groupby_maintained(self, kernel, db, predicates=None):
+        self.groupby_calls += 1
+        return super().run_groupby_maintained(kernel, db, predicates)
+
 
 def make_service(**kwargs):
     kwargs.setdefault("backend", CountingNumpyBackend())
@@ -302,11 +312,24 @@ class TestFusion:
 
 class TestLifecycleAndStats:
     def test_register_twice_requires_replace(self, int_star_db):
+        """Re-registering the *same* object is an idempotent no-op; a
+        different database under a taken name still requires replace."""
+        from repro.db import Database
+
         async def run():
             async with make_service() as svc:
                 svc.register_database("star", int_star_db)
+                generation = svc._dbs["star"].generation
+                svc.register_database("star", int_star_db)
+                assert svc.stats.reregistrations == 1
+                assert svc._dbs["star"].generation == generation
+                other = Database.of(
+                    int_star_db.relation("S"),
+                    int_star_db.relation("R"),
+                    int_star_db.relation("I"),
+                )
                 with pytest.raises(ValueError, match="already registered"):
-                    svc.register_database("star", int_star_db)
+                    svc.register_database("star", other)
                 svc.register_database("star", int_star_db, replace=True)
 
         serve(run())
@@ -331,6 +354,11 @@ class TestLifecycleAndStats:
                 run_started.set()
                 assert release.wait(5)
                 return super().run_groupby(kernel, db, predicates)
+
+            def run_groupby_maintained(self, kernel, db, predicates=None):
+                run_started.set()
+                assert release.wait(5)
+                return super().run_groupby_maintained(kernel, db, predicates)
 
         backend = SlowBackend()
 
