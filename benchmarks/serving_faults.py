@@ -1,0 +1,240 @@
+"""Emit ``BENCH_faults.json`` — serving throughput under injected faults.
+
+Measures what the fault-tolerance layer costs and what it buys: the
+same request stream is served by a clean service and by services under
+deterministic fault injection (:mod:`repro.serving.faults`), and every
+successful response is checked **bit-identical** against a sequential
+single-shot execution of the same kernel — retried and degraded runs
+recompute the same pure fold, so equality is exact, not approximate.
+
+Scenarios:
+
+* ``clean``         — thread-executor baseline, no faults;
+* ``worker-kills``  — a real one-worker process pool whose worker is
+  killed before every ``KILL_EVERY``-th dispatch; the organic
+  ``WorkerError`` is absorbed by retry/backoff against the respawned
+  worker;
+* ``transient-failures`` — the backend raises ``TransientError`` on a
+  seeded Bernoulli schedule (``FAIL_RATE``); retries recover every one;
+* ``breaker-degraded``  — every process dispatch fails, the circuit
+  breaker trips, and the whole stream is served degraded on threads.
+
+The report records per-scenario throughput, retry/breaker/degradation
+counters, and a global ``bit_identical`` flag.  **Exit code 1 on any
+bit-identity mismatch** — that is the acceptance gate CI enforces.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/serving_faults.py [--out BENCH_faults.json]
+
+Environment: ``IFAQ_FAULT_CLIENTS`` (default 8), ``IFAQ_FAULT_ROUNDS``
+(default 4), ``IFAQ_FAULT_FACTS`` (default 20000), ``IFAQ_FAULT_RATE``
+(default 0.2), ``IFAQ_FAULT_KILL_EVERY`` (default 3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro import KernelCache, __version__
+from repro.aggregates import build_join_tree, variance_batch
+from repro.aggregates.engine import compute_groupby
+from repro.backend import NumpyBackend, ProcessKernelExecutor, WorkerError
+from repro.data import star_schema
+from repro.serving import (
+    AggregateService,
+    CircuitBreaker,
+    Every,
+    Fail,
+    FaultSchedule,
+    FaultyBackend,
+    FaultyExecutor,
+    GroupByRequest,
+    KillWorker,
+    RetryPolicy,
+    Sometimes,
+    TransientError,
+)
+
+CLIENTS = int(os.environ.get("IFAQ_FAULT_CLIENTS", "8"))
+ROUNDS = int(os.environ.get("IFAQ_FAULT_ROUNDS", "4"))
+FACTS = int(os.environ.get("IFAQ_FAULT_FACTS", "20000"))
+FAIL_RATE = float(os.environ.get("IFAQ_FAULT_RATE", "0.2"))
+KILL_EVERY = int(os.environ.get("IFAQ_FAULT_KILL_EVERY", "3"))
+
+#: immediate retries — the benchmark measures recovery work, not sleeps
+RETRY = RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0)
+
+
+async def run_stream(service: AggregateService, waves: list) -> dict:
+    started = time.perf_counter()
+    responses = []
+    for wave in waves:
+        responses.extend(await service.submit_many(wave))
+    seconds = time.perf_counter() - started
+    total = sum(len(w) for w in waves)
+    stats = service.stats_dict()["service"]
+    return {
+        "requests": total,
+        "seconds": round(seconds, 6),
+        "requests_per_second": round(total / seconds, 2) if seconds else None,
+        "retries": stats["retries"],
+        "retry_exhausted": stats["retry_exhausted"],
+        "degraded_runs": stats["degraded_runs"],
+        "errors": stats["errors"],
+        "breaker_state": stats["breaker_state"],
+        "breaker_transitions": stats["breaker_transitions"],
+        "responses": responses,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_faults.json")
+    args = parser.parse_args(argv)
+
+    ds = star_schema(
+        n_facts=FACTS, n_dims=3, dim_size=50, attrs_per_dim=2, fact_attrs=0, seed=11
+    )
+    batch = variance_batch(ds.label)
+    tree = build_join_tree(
+        ds.db.schema(), ds.query.relations, stats=dict(ds.db.statistics())
+    )
+
+    def waves():
+        # Rotate features so every wave mixes fingerprints (coalescing
+        # cannot hide the injected faults behind one shared run).
+        return [
+            [
+                GroupByRequest("star", batch, ds.features[c % len(ds.features)])
+                for c in range(CLIENTS)
+            ]
+            for _ in range(ROUNDS)
+        ]
+
+    # The oracle: sequential single-shot execution per feature.
+    oracle = {
+        feature: compute_groupby(
+            ds.db, tree, batch, feature, backend="numpy", kernel_cache=KernelCache()
+        )
+        for feature in ds.features
+    }
+
+    def expected_stream():
+        return [
+            oracle[ds.features[c % len(ds.features)]]
+            for _ in range(ROUNDS)
+            for c in range(CLIENTS)
+        ]
+
+    scenarios = []
+    mismatches = []
+
+    def check(name: str, timing: dict) -> None:
+        responses = timing.pop("responses")
+        ok = responses == expected_stream()
+        timing["bit_identical"] = ok
+        if not ok:
+            mismatches.append(name)
+        scenarios.append({"name": name, **timing})
+
+    async def clean():
+        async with AggregateService(
+            backend="numpy", kernel_cache=KernelCache(), retry_policy=RETRY,
+            coalesce=False, fuse=False,
+        ) as service:
+            service.register_database("star", ds.db)
+            check("clean", await run_stream(service, waves()))
+
+    async def worker_kills():
+        schedule = FaultSchedule().on(
+            "run_kernel", KillWorker(0), at=Every(KILL_EVERY, start=1)
+        )
+        pool = ProcessKernelExecutor(workers=1)
+        try:
+            async with AggregateService(
+                backend="numpy", kernel_cache=KernelCache(), retry_policy=RETRY,
+                executor=FaultyExecutor(pool, schedule),
+                coalesce=False, fuse=False,
+            ) as service:
+                service.register_database("star", ds.db)
+                timing = await run_stream(service, waves())
+                timing["injected_faults"] = len(schedule.log)
+                check("worker-kills", timing)
+        finally:
+            pool.shutdown()
+
+    async def transient_failures():
+        schedule = FaultSchedule()
+        for op in ("run_groupby", "run_groupby_many"):
+            schedule.on(op, Fail(TransientError), at=Sometimes(FAIL_RATE, seed=5))
+        async with AggregateService(
+            backend=FaultyBackend(NumpyBackend(), schedule),
+            kernel_cache=KernelCache(), retry_policy=RETRY,
+            executor="thread", coalesce=False, fuse=False,
+        ) as service:
+            service.register_database("star", ds.db)
+            timing = await run_stream(service, waves())
+            timing["injected_faults"] = len(schedule.log)
+            check("transient-failures", timing)
+
+    async def breaker_degraded():
+        schedule = FaultSchedule().on(
+            "run_kernel", Fail(WorkerError, "pool down"), at=lambda i: True
+        )
+        pool = ProcessKernelExecutor(workers=1)
+        try:
+            async with AggregateService(
+                backend="numpy", kernel_cache=KernelCache(), retry_policy=RETRY,
+                executor=FaultyExecutor(pool, schedule),
+                breaker=CircuitBreaker("process", failure_threshold=2, reset_seconds=600.0),
+                coalesce=False, fuse=False,
+            ) as service:
+                service.register_database("star", ds.db)
+                timing = await run_stream(service, waves())
+                timing["injected_faults"] = len(schedule.log)
+                check("breaker-degraded", timing)
+        finally:
+            pool.shutdown()
+
+    async def drive():
+        await clean()
+        await worker_kills()
+        await transient_failures()
+        await breaker_degraded()
+
+    asyncio.run(drive())
+
+    report = {
+        "benchmark": "serving-faults",
+        "version": __version__,
+        "clients": CLIENTS,
+        "rounds": ROUNDS,
+        "facts": FACTS,
+        "fail_rate": FAIL_RATE,
+        "kill_every": KILL_EVERY,
+        "scenarios": scenarios,
+        "bit_identical": not mismatches,
+        "mismatched_scenarios": mismatches,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    for s in scenarios:
+        print(
+            f"{s['name']:>18s}: {s['requests_per_second']:>9} req/s, "
+            f"retries {s['retries']}, degraded {s['degraded_runs']}, "
+            f"breaker {s['breaker_state']}, bit-identical {s['bit_identical']}"
+        )
+    print(f"bit-identical overall: {report['bit_identical']}; wrote {args.out}")
+    return 0 if report["bit_identical"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

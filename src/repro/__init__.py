@@ -57,12 +57,16 @@ from repro.db import Database, JoinQuery, Relation, RelationSchema
 from repro.serving import (
     AggregateRequest,
     AggregateService,
+    CircuitBreaker,
+    DeadlineExceeded,
     GroupByRequest,
     MultiGroupByRequest,
+    QueueFull,
+    RetryPolicy,
     ServiceStats,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 #: lazily imported ML entry points (numpy-backed)
 _LAZY_ML = {
@@ -76,11 +80,12 @@ _LAZY_ML = {
 
 __all__ = [
     "AggregateBatch", "AggregateRequest", "AggregateService", "AggregateSpec",
-    "ColumnStore", "CompilationArtifacts", "CppKernelBackend", "Database",
-    "EngineBackend", "ExecutionBackend", "GroupByRequest", "IFAQCompiler",
-    "JoinQuery", "Kernel", "KernelCache", "LayoutOptions", "MultiBatchPlan",
-    "MultiGroupByRequest", "NumpyBackend", "PythonKernelBackend", "Relation",
-    "RelationSchema", "ServiceStats", "ShardedBackend", "__version__",
+    "CircuitBreaker", "ColumnStore", "CompilationArtifacts", "CppKernelBackend",
+    "Database", "DeadlineExceeded", "EngineBackend", "ExecutionBackend",
+    "GroupByRequest", "IFAQCompiler", "JoinQuery", "Kernel", "KernelCache",
+    "LayoutOptions", "MultiBatchPlan", "MultiGroupByRequest", "NumpyBackend",
+    "PythonKernelBackend", "QueueFull", "Relation", "RelationSchema",
+    "RetryPolicy", "ServiceStats", "ShardedBackend", "__version__",
     "available_backends", "build_join_tree", "column_store",
     "compute_groupby", "compute_groupby_many", "covar_batch",
     "default_kernel_cache", "get_backend", "register_backend",

@@ -3,11 +3,16 @@
 Binaries are cached per source hash under a work directory, so repeated
 benchmark runs pay the compiler once.  Compile times are recorded —
 the paper reports them separately ("Compilation Overhead").
+
+Both toolchain subprocesses (the g++ compile and each kernel binary
+run) are bounded by ``IFAQ_CPP_TIMEOUT`` seconds so a wedged compiler
+or a runaway binary fails loudly instead of hanging the caller forever.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import shutil
 import subprocess
 import tempfile
@@ -17,9 +22,23 @@ from pathlib import Path
 
 from repro.backend.codegen_cpp import CppKernel
 
+#: Default seconds before a toolchain subprocess is killed.
+DEFAULT_CPP_TIMEOUT = 300.0
+
+
+def toolchain_timeout() -> float | None:
+    """Subprocess timeout from ``IFAQ_CPP_TIMEOUT`` (seconds;
+    non-positive disables the bound entirely)."""
+    raw = os.environ.get("IFAQ_CPP_TIMEOUT")
+    if raw is None or raw.strip() == "":
+        return DEFAULT_CPP_TIMEOUT
+    value = float(raw)
+    return value if value > 0 else None
+
 
 class CppToolchainError(RuntimeError):
-    """g++ is unavailable or compilation failed."""
+    """g++ is unavailable, compilation failed, or a toolchain
+    subprocess exceeded ``IFAQ_CPP_TIMEOUT``."""
 
 
 def gxx_available() -> bool:
@@ -45,12 +64,20 @@ class CompiledKernel:
         scalar batches, ``key v0 … vN`` per line for group-by kernels)
         and are parsed by the caller.
         """
-        proc = subprocess.run(
-            [str(self.binary_path), str(data_path)],
-            capture_output=True,
-            text=True,
-            check=False,
-        )
+        timeout = toolchain_timeout()
+        try:
+            proc = subprocess.run(
+                [str(self.binary_path), str(data_path)],
+                capture_output=True,
+                text=True,
+                check=False,
+                timeout=timeout,
+            )
+        except subprocess.TimeoutExpired as exc:
+            raise CppToolchainError(
+                f"kernel run exceeded {timeout}s and was killed "
+                f"(raise or disable via IFAQ_CPP_TIMEOUT): {self.binary_path}"
+            ) from exc
         if proc.returncode != 0:
             raise CppToolchainError(
                 f"kernel run failed (exit {proc.returncode}): {proc.stderr}"
@@ -88,8 +115,17 @@ def compile_kernel(
 
     src_path.write_text(kernel.source)
     cmd = ["g++", "-O3", "-std=c++17", *extra_flags, str(src_path), "-o", str(bin_path)]
+    timeout = toolchain_timeout()
     started = time.perf_counter()
-    proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, check=False, timeout=timeout
+        )
+    except subprocess.TimeoutExpired as exc:
+        raise CppToolchainError(
+            f"g++ exceeded {timeout}s compiling kernel_{digest}.cpp and was "
+            f"killed (raise or disable via IFAQ_CPP_TIMEOUT)"
+        ) from exc
     elapsed = time.perf_counter() - started
     if proc.returncode != 0:
         raise CppToolchainError(f"g++ failed:\n{proc.stderr}\n--- source ---\n{kernel.source}")

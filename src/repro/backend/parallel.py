@@ -142,8 +142,14 @@ class ShardedBackend(ExecutionBackend):
     executor: object | None = field(default=None, repr=False)
     context: dict = field(default_factory=dict)
 
+    #: per-shard WorkerError resubmissions tolerated on the process
+    #: block path before the failure propagates
+    max_retries: int = 2
+
     #: wall-clock seconds per shard of the most recent execution
     last_shard_seconds: list[float] = field(default_factory=list, repr=False)
+    #: shard resubmissions performed by the most recent scatter
+    last_retries: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -333,6 +339,8 @@ class ShardedBackend(ExecutionBackend):
         return self._scatter_ranges(kernel, db, ranges, **kwargs)
 
     def _scatter_ranges(self, kernel: Kernel, db: Database, ranges, **kwargs):
+        from repro.backend.process_pool import WorkerError
+
         assignments = _chunk(ranges, self.shards)
         pool = self._pool()
         futures = [
@@ -341,7 +349,27 @@ class ShardedBackend(ExecutionBackend):
             )
             for blocks in assignments
         ]
-        outputs = [f.result() for f in futures]
+        self.last_retries = 0
+        outputs = []
+        for blocks, future in zip(assignments, futures):
+            attempts = 0
+            while True:
+                try:
+                    outputs.append(future.result())
+                    break
+                except WorkerError:
+                    # A worker died mid-shard; the pool respawned it in
+                    # place.  Resubmitting the same canonical block list
+                    # is safe — blocks are a pure function of data and
+                    # block size, and the merge below stays in canonical
+                    # block order, so the recovered run is bit-identical.
+                    attempts += 1
+                    if attempts > self.max_retries:
+                        raise
+                    self.last_retries += 1
+                    future = pool.run_blocks(
+                        self.inner, db, kernel.plan, kernel.layout, blocks, **kwargs
+                    )
         self.last_shard_seconds = [seconds for _, seconds in outputs]
         by_index = {idx: part for partials, _ in outputs for idx, part in partials}
         return [by_index[idx] for idx, _ in ranges]

@@ -83,6 +83,20 @@ def default_process_workers() -> int:
     return workers
 
 
+#: Default seconds a shutdown waits for workers to exit cleanly before
+#: escalating to terminate()/kill().
+DEFAULT_SHUTDOWN_GRACE = 5.0
+
+
+def default_shutdown_grace() -> float:
+    """Shutdown grace period from ``IFAQ_SHUTDOWN_GRACE`` (seconds;
+    non-positive means escalate immediately)."""
+    raw = os.environ.get("IFAQ_SHUTDOWN_GRACE")
+    if not raw:
+        return DEFAULT_SHUTDOWN_GRACE
+    return max(0.0, float(raw))
+
+
 def _start_method() -> str:
     """``IFAQ_PROC_START`` override, else fork where available.
 
@@ -295,10 +309,14 @@ class ProcessKernelExecutor(Executor):
         workers: int | None = None,
         *,
         start_method: str | None = None,
+        shutdown_grace: float | None = None,
     ) -> None:
         self.workers = workers if workers is not None else default_process_workers()
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        self.shutdown_grace = (
+            shutdown_grace if shutdown_grace is not None else default_shutdown_grace()
+        )
         self._method = start_method or _start_method()
         self._ctx = mp.get_context(self._method)
         self._handles: list[_WorkerHandle] = []
@@ -352,6 +370,22 @@ class ProcessKernelExecutor(Executor):
         handle.conn = fresh.conn
         handle.dbs = set()
         handle.backends = set()
+
+    def kill_worker(self, index: int = 0) -> None:
+        """Kill one worker process outright (SIGKILL) — the fault-
+        injection surface :class:`~repro.serving.faults.KillWorker`
+        uses.
+
+        The dead worker is *not* respawned here: the next task routed
+        to its handle observes the broken pipe, raises the organic
+        :class:`WorkerError`, and respawns it — exactly the crash
+        sequence retry logic must absorb.
+        """
+        if not self._handles:
+            return
+        handle = self._handles[index % len(self._handles)]
+        handle.process.kill()
+        handle.process.join(timeout=5)
 
     # -- registration tokens ----------------------------------------------
 
@@ -527,21 +561,45 @@ class ProcessKernelExecutor(Executor):
         )
 
     def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
+        """Stop the pool, escalating until every worker is reclaimed.
+
+        Workers get a cooperative shutdown message and ``shutdown_grace``
+        seconds (``IFAQ_SHUTDOWN_GRACE``) to exit; survivors are
+        ``terminate()``d, then ``kill()``ed, each with a short re-join.
+        Workers are reaped *before* the proxy pool is shut down: a proxy
+        thread blocked in ``conn.recv()`` on a hung worker only unblocks
+        once that worker dies, so the old order (proxy first) could wait
+        forever.  ``close()`` therefore always reclaims its workers.
+        """
         if self._closed:
             return
         self._closed = True
-        self._proxy.shutdown(wait=wait, cancel_futures=cancel_futures)
         for handle in self._handles:
             try:
                 handle.conn.send(("shutdown",))
             except (BrokenPipeError, OSError):
                 pass
+        grace = self.shutdown_grace if wait else 0.0
+        deadline = time.monotonic() + grace
         for handle in self._handles:
-            if wait:
-                handle.process.join(timeout=5)
+            if grace:
+                handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+        for handle in self._handles:  # escalation 1: SIGTERM
             if handle.process.is_alive():
                 handle.process.terminate()
-            handle.conn.close()
+        for handle in self._handles:
+            if handle.process.is_alive():
+                handle.process.join(timeout=1.0)
+        for handle in self._handles:  # escalation 2: SIGKILL
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+        for handle in self._handles:
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        self._proxy.shutdown(wait=wait, cancel_futures=cancel_futures)
 
     def __del__(self) -> None:  # best-effort: daemon workers die anyway
         try:

@@ -16,6 +16,15 @@ engines do.  Predicates are *execution-time* state — they are not part
 of the kernel identity — but they are part of the **request identity**:
 two requests only coalesce when their predicates are provably equal
 (see :func:`predicate_key`).
+
+Requests may also carry a ``deadline`` — a *relative* budget in
+seconds, measured from submission.  It is serving-time state only
+(never part of the kernel or coalescing identity): the service cancels
+the waiter with :class:`~repro.serving.policies.DeadlineExceeded` when
+the budget expires while the request is queued or in flight.  An
+explicit ``deadline=`` argument to ``submit`` overrides it; the
+service-wide default (``IFAQ_DEADLINE_SECONDS``) applies when both are
+``None``.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ class AggregateRequest:
     database: str
     batch: AggregateBatch
     predicates: Mapping[str, Sequence] | None = field(default=None, compare=False)
+    deadline: float | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -43,6 +53,7 @@ class GroupByRequest:
     batch: AggregateBatch
     group_attr: str
     predicates: Mapping[str, Sequence] | None = field(default=None, compare=False)
+    deadline: float | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -53,6 +64,7 @@ class MultiGroupByRequest:
     batch: AggregateBatch
     group_attrs: tuple[str, ...]
     predicates: Mapping[str, Sequence] | None = field(default=None, compare=False)
+    deadline: float | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "group_attrs", tuple(self.group_attrs))

@@ -56,6 +56,22 @@ delta-capable backend), falling back to a full recompute otherwise.
 A per-database writer barrier keeps readers off the store while it
 mutates, and coalescing keys carry the database's relation-version
 vector so requests straddling an ingest never share a run.
+
+**Fault tolerance** (see :mod:`repro.serving.policies`): every request
+can carry a relative **deadline**, enforced while queued and in flight
+(:class:`DeadlineExceeded`); queued units abandoned by all their
+waiters are cancelled before dispatch so they never occupy a pool
+slot.  Per-database **bounded admission** caps the pending-run queue
+(``QueueFull`` backpressure, or parked waits under the ``"wait"``
+policy).  Transient executor failures — a worker death mid-run, a
+respawn window — are **retried with exponential backoff and seeded
+jitter**; kernels are pure, so a retried run is bit-identical to the
+clean one.  Repeated failures trip a **circuit breaker** and runs
+degrade down the ladder *process → thread → inline*, recovering
+through half-open probes; every timeout, rejection, retry, degraded
+run and breaker transition is visible in :class:`ServiceStats`.  The
+deterministic fault-injection harness driving the tests lives in
+:mod:`repro.serving.faults`.
 """
 
 from __future__ import annotations
@@ -77,6 +93,7 @@ from repro.backend.plan import BatchPlan, MultiBatchPlan, build_batch_plan
 from repro.backend.process_pool import (
     ProcessKernelExecutor,
     TaskNotPicklable,
+    WorkerError,
     executor_mode_from_env,
 )
 from repro.backend.registry import get_backend
@@ -87,6 +104,16 @@ from repro.serving.requests import (
     MultiGroupByRequest,
     Request,
     predicate_key,
+)
+from repro.serving.policies import (
+    CircuitBreaker,
+    DeadlineExceeded,
+    QueueFull,
+    RetryPolicy,
+    TransientError,
+    default_deadline_from_env,
+    queue_depth_from_env,
+    queue_policy_from_env,
 )
 from repro.serving.stats import ServiceStats
 
@@ -124,6 +151,8 @@ class _WriteBarrier:
         self._running = 0
 
     async def reader_enter(self) -> None:
+        # Cancellation-safe: a reader cancelled while parked at the
+        # closed gate has mutated nothing, so nothing to unwind.
         while not self._gate.is_set():
             await self._gate.wait()
         self._running += 1
@@ -136,7 +165,15 @@ class _WriteBarrier:
 
     async def writer_enter(self) -> None:
         self._gate.clear()
-        await self._idle.wait()
+        try:
+            await self._idle.wait()
+        except BaseException:
+            # A writer cancelled while waiting for readers to drain
+            # must reopen the gate, or every later reader *and* writer
+            # wedges forever.  Ingests serialize on the registration's
+            # write_lock, so no other writer can hold the gate closed.
+            self._gate.set()
+            raise
 
     def writer_exit(self) -> None:
         self._gate.set()
@@ -190,6 +227,12 @@ class _Registration:
     barrier: _WriteBarrier = field(default_factory=_WriteBarrier)
     #: serializes concurrent ingest() calls for this database
     write_lock: asyncio.Lock = field(default_factory=asyncio.Lock)
+    #: pending (queued, not yet dispatched) execution units — the
+    #: quantity bounded admission caps per database
+    queued: int = 0
+    #: submissions parked by the "wait" admission policy, woken FIFO
+    #: one per freed slot
+    queue_waiters: deque = field(default_factory=deque)
 
     def drop_view_states(self) -> None:
         """Forget delta states (kept results stay servable).
@@ -229,6 +272,14 @@ class _Inflight:
     #: maintained delta state captured by the run (thread path only;
     #: process-path runs leave it None and ingest re-establishes state)
     view_state: Any = None
+    #: waiters currently attached (the creator plus coalesced joiners);
+    #: decremented when a waiter's deadline expires or it is cancelled
+    waiters: int = 1
+    #: True once a dispatcher has taken this entry into a batch
+    started: bool = False
+    #: True when every waiter left before dispatch: the entry is
+    #: discarded by the next _take_batch instead of occupying a slot
+    abandoned: bool = False
 
 
 def _copy_result(kind: str, result):
@@ -279,6 +330,30 @@ class AggregateService:
         result, so one client mutating its response cannot corrupt
         another's.  Trusted read-only clients can turn this off to
         serve large group dictionaries zero-copy.
+    default_deadline:
+        Service-wide relative deadline in seconds applied to requests
+        that carry none of their own (``None``: read
+        ``IFAQ_DEADLINE_SECONDS``, unset meaning no deadline).
+    max_queue_depth / queue_policy:
+        Bounded admission: at most ``max_queue_depth`` pending
+        execution units per database (``None``: ``IFAQ_QUEUE_DEPTH``,
+        unset meaning unbounded).  Over-cap submissions raise
+        :class:`QueueFull` under ``"reject"`` (the default /
+        ``IFAQ_QUEUE_POLICY``) or park until a slot frees under
+        ``"wait"`` — still subject to the deadline.
+    retry_policy:
+        Backoff schedule for transient executor failures
+        (:class:`~repro.backend.process_pool.WorkerError`,
+        :class:`TransientError`); ``None`` reads the
+        ``IFAQ_RETRY_*`` variables.  Kernels are pure, so retried runs
+        are bit-identical to clean ones.
+    breaker / thread_breaker:
+        Circuit breakers for the process and thread execution stages
+        (``None``: built from ``IFAQ_BREAKER_THRESHOLD`` /
+        ``IFAQ_BREAKER_RESET``).  An open process breaker degrades
+        runs to the thread stage; an open thread breaker degrades to
+        inline execution on the event loop — the last-resort mode that
+        still answers requests.
     """
 
     def __init__(
@@ -294,6 +369,12 @@ class AggregateService:
         fuse: bool = True,
         max_fuse: int = DEFAULT_MAX_FUSE,
         copy_results: bool = True,
+        default_deadline: float | None = None,
+        max_queue_depth: int | None = None,
+        queue_policy: str | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        thread_breaker: CircuitBreaker | None = None,
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -310,6 +391,42 @@ class AggregateService:
         #: whether the backend speaks the maintained/delta-run protocol
         self._delta_backend = bool(callable(probe) and probe())
         self.stats = ServiceStats()
+        self.default_deadline = (
+            default_deadline if default_deadline is not None
+            else default_deadline_from_env()
+        )
+        self.max_queue_depth = (
+            max_queue_depth if max_queue_depth is not None else queue_depth_from_env()
+        )
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        self.queue_policy = (
+            queue_policy if queue_policy is not None else queue_policy_from_env()
+        )
+        if self.queue_policy not in ("reject", "wait"):
+            raise ValueError(
+                f"queue_policy must be 'reject' or 'wait', got {self.queue_policy!r}"
+            )
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy.from_env()
+        )
+        self._retry_rng = self.retry_policy.rng()
+        #: exception types safe to retry: the run never started or died
+        #: mid-flight, and kernels are pure
+        self._transient: tuple[type, ...] = (WorkerError, TransientError)
+        self._breaker = (
+            breaker if breaker is not None else CircuitBreaker.from_env("process")
+        )
+        self._thread_breaker = (
+            thread_breaker
+            if thread_breaker is not None
+            else CircuitBreaker.from_env("thread")
+        )
+        for brk in (self._breaker, self._thread_breaker):
+            if brk.on_transition is None:
+                brk.on_transition = self.stats.note_breaker_transition
         if store_budget_bytes is None:
             raw = os.environ.get("IFAQ_STORE_BUDGET_BYTES")
             store_budget_bytes = int(raw) if raw else None
@@ -331,8 +448,11 @@ class AggregateService:
         else:
             self._own_executor = False
         self._executor: Executor = executor
+        # Duck-typed so fault-injection wrappers (serving.faults.
+        # FaultyExecutor) and future remote executors slot in: anything
+        # exposing run_kernel() is driven down the process path.
         self._process_executor = (
-            executor if isinstance(executor, ProcessKernelExecutor) else None
+            executor if hasattr(executor, "run_kernel") else None
         )
         self._sem = asyncio.Semaphore(max_workers)
         self._dbs: dict[str, _Registration] = {}
@@ -430,7 +550,7 @@ class AggregateService:
 
     # -- request submission -------------------------------------------------
 
-    async def submit(self, request: Request):
+    async def submit(self, request: Request, *, deadline: float | None = None):
         """Answer one request; concurrent identical requests coalesce.
 
         Returns (a private copy of) the backend result:
@@ -438,6 +558,15 @@ class AggregateService:
         group-bys, ``{attr: {group: [values]}}`` for multi-group-bys.
         Exceptions raised by planning or execution propagate to every
         coalesced waiter.
+
+        ``deadline`` is a relative budget in seconds covering the whole
+        request — admission wait, queueing and execution.  Explicit
+        argument > ``request.deadline`` > the service default.  On
+        expiry the *waiter* is cancelled with :class:`DeadlineExceeded`
+        (coalesced peers keep waiting on their own budgets), and a
+        queued unit abandoned by every waiter is cancelled before it
+        can occupy a pool slot.  Over-cap submissions raise
+        :class:`QueueFull` under the ``"reject"`` admission policy.
         """
         if self._closed:
             raise RuntimeError("AggregateService is closed")
@@ -447,6 +576,12 @@ class AggregateService:
                 f"database {request.database!r} is not registered "
                 f"(registered: {', '.join(self._dbs) or 'none'})"
             )
+        loop = asyncio.get_running_loop()
+        if deadline is None:
+            deadline = getattr(request, "deadline", None)
+        if deadline is None:
+            deadline = self.default_deadline
+        deadline_at = loop.time() + deadline if deadline is not None else None
         kind, plan = self._plan_for(reg, request)
         fingerprint = plan.fingerprint(self.layout, self.backend.kernel_key)
         pred_key = predicate_key(request.predicates)
@@ -468,16 +603,16 @@ class AggregateService:
                 # under the write barrier, so the cached result is the
                 # current answer — no kernel run at all.
                 self.stats.view_hits += 1
-                reg.last_used = asyncio.get_running_loop().time()
+                reg.last_used = loop.time()
                 return _copy_result(kind, view.result) if self.copy_results else view.result
             existing = self._inflight.get(key)
             if existing is not None:
                 self.stats.coalesced += 1
                 fp_stats.coalesced += 1
-                result = await asyncio.shield(existing.future)
-                return _copy_result(kind, result) if self.copy_results else result
+                existing.waiters += 1
+                return await self._await_entry(existing, kind, deadline_at, loop)
 
-        loop = asyncio.get_running_loop()
+        await self._admit(reg, deadline_at, loop)
         entry = _Inflight(
             key=key,
             kind=kind,
@@ -491,12 +626,99 @@ class AggregateService:
         )
         if self.coalesce:
             self._inflight[key] = entry
+        reg.queued += 1
         self._pending.append(entry)
         task = asyncio.ensure_future(self._dispatch())
         self._tasks.add(task)
         task.add_done_callback(self._tasks.discard)
-        result = await asyncio.shield(entry.future)
+        return await self._await_entry(entry, kind, deadline_at, loop)
+
+    async def _await_entry(
+        self, entry: _Inflight, kind: str, deadline_at: float | None, loop
+    ):
+        """Await one unit's future under the waiter's deadline.
+
+        The future is shielded (it is shared by every coalesced
+        waiter), so one waiter timing out never cancels the run for the
+        others — it just detaches.  When the *last* waiter of a
+        still-queued unit detaches, the unit is abandoned and the next
+        dispatcher discards it instead of running it.
+        """
+        try:
+            if deadline_at is None:
+                result = await asyncio.shield(entry.future)
+            else:
+                remaining = deadline_at - loop.time()
+                result = await asyncio.wait_for(
+                    asyncio.shield(entry.future), max(0.0, remaining)
+                )
+        except (asyncio.TimeoutError, TimeoutError):
+            if entry.future.done() and entry.future.exception() is not None:
+                # The run itself failed with a TimeoutError-shaped
+                # exception: that is an execution error, not our
+                # deadline — propagate it untranslated.
+                raise
+            self._detach_waiter(entry)
+            self.stats.deadline_timeouts += 1
+            raise DeadlineExceeded(
+                f"request exceeded its deadline while "
+                f"{'in flight' if entry.started else 'queued'} "
+                f"(fingerprint {entry.fingerprint[:12]}…)"
+            ) from None
+        except asyncio.CancelledError:
+            self._detach_waiter(entry)
+            raise
         return _copy_result(kind, result) if self.copy_results else result
+
+    def _detach_waiter(self, entry: _Inflight) -> None:
+        entry.waiters -= 1
+        if entry.waiters <= 0 and not entry.started and not entry.abandoned:
+            entry.abandoned = True
+
+    async def _admit(self, reg: _Registration, deadline_at, loop) -> None:
+        """Bounded admission: hold the per-database queue under the cap.
+
+        ``"reject"`` answers over-cap submissions immediately with
+        :class:`QueueFull` — backpressure the client can act on.
+        ``"wait"`` parks the submission until a slot frees (FIFO, one
+        wake per freed slot), still bounded by the deadline.
+        """
+        cap = self.max_queue_depth
+        if cap is None or reg.queued < cap:
+            return
+        if self.queue_policy == "reject":
+            self.stats.queue_rejections += 1
+            raise QueueFull(
+                f"database {reg.name!r} has {reg.queued} queued runs "
+                f"(cap {cap}); retry later or raise max_queue_depth"
+            )
+        while reg.queued >= cap:
+            waiter = loop.create_future()
+            reg.queue_waiters.append(waiter)
+            try:
+                if deadline_at is None:
+                    await waiter
+                else:
+                    await asyncio.wait_for(waiter, max(0.0, deadline_at - loop.time()))
+            except (asyncio.TimeoutError, TimeoutError):
+                self.stats.deadline_timeouts += 1
+                raise DeadlineExceeded(
+                    f"request exceeded its deadline while parked at "
+                    f"database {reg.name!r}'s admission queue (cap {cap})"
+                ) from None
+            finally:
+                if waiter in reg.queue_waiters:
+                    reg.queue_waiters.remove(waiter)
+
+    def _queue_release(self, reg: _Registration) -> None:
+        """One pending unit left the queue: free the slot and wake the
+        first live parked submission, if any."""
+        reg.queued -= 1
+        while reg.queue_waiters:
+            waiter = reg.queue_waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                break
 
     async def submit_many(self, requests: Iterable[Request]) -> list:
         """Submit requests concurrently and gather their results in order."""
@@ -750,11 +972,21 @@ class AggregateService:
                 for entry in batch:
                     if not entry.future.done():
                         entry.future.set_exception(exc)
+                    if entry.waiters <= 0:
+                        # Every waiter already timed out: consume the
+                        # exception so the abandoned future doesn't log
+                        # "exception was never retrieved" at GC time.
+                        entry.future.exception()
                 self.stats.errors += len(batch)
             else:
                 for entry, result in zip(batch, results):
                     if not entry.future.done():
                         entry.future.set_result(result)
+                    if entry.waiters <= 0:
+                        # The run finished, but every waiter had already
+                        # timed out after it started — wasted work worth
+                        # counting (the result still warms caches/views).
+                        self.stats.abandoned_runs += 1
                 self.stats.completed += len(batch)
                 if len(batch) == 1:
                     # Views are stored before reader_exit, so an ingest
@@ -768,7 +1000,12 @@ class AggregateService:
                 self._maybe_trim_stores()
 
     def _take_batch(self) -> list[_Inflight]:
-        """Pop the oldest pending entry plus every fusable peer.
+        """Pop the oldest live pending entry plus every fusable peer.
+
+        Entries abandoned by all of their waiters (deadline expired
+        while queued) are discarded here — they never occupy the pool
+        slot this dispatcher holds.  Every entry that leaves the queue,
+        whether dispatched or discarded, releases its admission slot.
 
         Fusable: queued single group-by entries over the same
         registration with the same δ predicates (fingerprints already
@@ -776,51 +1013,141 @@ class AggregateService:
         drains whole bursts into one :class:`MultiBatchPlan` run; when
         idle a batch is just the one entry, with zero added latency.
         """
-        if not self._pending:
+        first: _Inflight | None = None
+        while self._pending:
+            candidate = self._pending.popleft()
+            if candidate.abandoned:
+                self._discard(candidate)
+                continue
+            first = candidate
+            break
+        if first is None:
             return []
-        first = self._pending.popleft()
+        first.started = True
+        self._queue_release(first.registration)
         batch = [first]
         if self.fuse and first.kind == "groupby":
             keep: deque[_Inflight] = deque()
             for entry in self._pending:
-                if (
+                if entry.abandoned:
+                    self._discard(entry)
+                elif (
                     len(batch) < self.max_fuse
                     and entry.kind == "groupby"
                     and entry.registration is first.registration
                     and entry.pred_key == first.pred_key
                 ):
+                    entry.started = True
+                    self._queue_release(entry.registration)
                     batch.append(entry)
                 else:
                     keep.append(entry)
             self._pending = keep
         return batch
 
-    # -- executor selection -------------------------------------------------
+    def _discard(self, entry: _Inflight) -> None:
+        """Drop a queued unit whose waiters all left before dispatch."""
+        self._queue_release(entry.registration)
+        self._inflight.pop(entry.key, None)
+        if not entry.future.done():
+            entry.future.cancel()
+        self.stats.cancelled_queued += 1
+
+    # -- executor selection / resilience ------------------------------------
+
+    def _preferred_level(self) -> str:
+        return "process" if self._process_executor is not None else "thread"
+
+    def _select_level(self) -> tuple[str, CircuitBreaker | None]:
+        """Pick the highest execution level whose breaker admits a run.
+
+        The degradation ladder is ``process → thread → inline``:
+        a tripped process breaker routes runs onto worker threads, a
+        tripped thread breaker runs them inline on the event loop (the
+        last resort that always answers).  An ``open`` breaker whose
+        reset period elapsed half-opens here and lets the run through
+        as its recovery probe.
+        """
+        if self._process_executor is not None and self._breaker.allow():
+            return "process", self._breaker
+        if self._thread_breaker.allow():
+            return "thread", self._thread_breaker
+        return "inline", None
+
+    def _thread_target(self):
+        """The thread pool for thread-level runs.
+
+        When the service was built with a process executor there is no
+        dedicated thread pool, so degraded runs borrow the event loop's
+        default executor.
+        """
+        return None if self._process_executor is not None else self._executor
+
+    async def _run_resilient(self, loop, process_call, blocking_call):
+        """Run one unit with retry/backoff, breakers, and degradation.
+
+        ``process_call`` dispatches onto the process executor;
+        ``blocking_call`` is the in-process equivalent (bit-identical —
+        kernels are pure functions of plan, layout and data).  Only
+        *transient* failures (``WorkerError``, ``TransientError``) are
+        retried or recorded by breakers; planning errors and bad batches
+        propagate immediately on attempt one.
+        """
+        policy = self.retry_policy
+        attempt = 0
+        while True:
+            level, breaker = self._select_level()
+            try:
+                if level == "process":
+                    try:
+                        result = await process_call()
+                    except TaskNotPicklable:
+                        # Unpicklable backend/plan/predicates: run
+                        # in-process.  A capability fallback, not a
+                        # health-driven degradation — not counted.
+                        result = await loop.run_in_executor(None, blocking_call)
+                elif level == "thread":
+                    result = await loop.run_in_executor(
+                        self._thread_target(), blocking_call
+                    )
+                else:
+                    result = blocking_call()
+            except self._transient:
+                if breaker is not None:
+                    breaker.record_failure()
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    self.stats.retry_exhausted += 1
+                    raise
+                self.stats.retries += 1
+                delay = policy.delay(attempt, self._retry_rng)
+                if delay:
+                    await asyncio.sleep(delay)
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            if level != self._preferred_level():
+                self.stats.degraded_runs += 1
+            return result
 
     async def _execute_entry(self, loop, entry: _Inflight):
-        if self._process_executor is not None:
-            try:
-                result = await self._execute_process(loop, entry.kind, entry.plan, entry)
-            except TaskNotPicklable:
-                # Unpicklable backend/plan/predicates: run in-process.
-                return await loop.run_in_executor(None, self._execute_one, entry)
+        async def process_call():
+            result = await self._execute_process(loop, entry.kind, entry.plan, entry)
             if entry.kind == "multi":
                 return dict(zip(entry.plan.group_attr, result))
             return result
-        return await loop.run_in_executor(self._executor, self._execute_one, entry)
+
+        return await self._run_resilient(
+            loop, process_call, lambda: self._execute_one(entry)
+        )
 
     async def _execute_fused_entry(
         self, loop, mplan: MultiBatchPlan, batch: list[_Inflight]
     ) -> list:
-        if self._process_executor is not None:
-            try:
-                return await self._execute_process(loop, "multi", mplan, batch[0])
-            except TaskNotPicklable:
-                return await loop.run_in_executor(
-                    None, self._execute_fused, mplan, batch
-                )
-        return await loop.run_in_executor(
-            self._executor, self._execute_fused, mplan, batch
+        return await self._run_resilient(
+            loop,
+            lambda: self._execute_process(loop, "multi", mplan, batch[0]),
+            lambda: self._execute_fused(mplan, batch),
         )
 
     async def _execute_process(self, loop, kind: str, plan, entry: _Inflight):
@@ -960,6 +1287,16 @@ class AggregateService:
                 "workers": getattr(self._process_executor, "workers", None),
             },
             "store_budget_bytes": self.store_budget_bytes,
+            "reliability": {
+                "default_deadline": self.default_deadline,
+                "max_queue_depth": self.max_queue_depth,
+                "queue_policy": self.queue_policy,
+                "retry": self.retry_policy.as_dict(),
+                "breakers": {
+                    "process": self._breaker.as_dict(),
+                    "thread": self._thread_breaker.as_dict(),
+                },
+            },
         }
 
     async def drain(self) -> None:

@@ -56,6 +56,28 @@ class ServiceStats:
     fused_runs: int = 0
     #: column stores evicted by the byte-budget LRU trim policy
     store_trims: int = 0
+    #: waiters cancelled with DeadlineExceeded (queued or in flight)
+    deadline_timeouts: int = 0
+    #: submissions rejected with QueueFull by bounded admission
+    queue_rejections: int = 0
+    #: queued units cancelled before dispatch because every waiter left
+    #: (they never occupied a pool slot)
+    cancelled_queued: int = 0
+    #: runs that completed after their last waiter had already timed out
+    abandoned_runs: int = 0
+    #: transient executor failures retried (each backoff sleep counts once)
+    retries: int = 0
+    #: runs whose retry budget was exhausted (the failure propagated)
+    retry_exhausted: int = 0
+    #: runs executed below the preferred level (process→thread→inline)
+    #: because a circuit breaker was open
+    degraded_runs: int = 0
+    #: current state of the process-stage circuit breaker
+    breaker_state: str = "closed"
+    #: current state of the thread-stage circuit breaker
+    thread_breaker_state: str = "closed"
+    #: every breaker transition, as (breaker name, from state, to state)
+    breaker_transitions: list = field(default_factory=list)
     #: requests answered straight from a maintained materialized view
     view_hits: int = 0
     #: ingest batches applied via AggregateService.ingest
@@ -114,6 +136,15 @@ class ServiceStats:
         self.queue_seconds_total += seconds
         self.queue_seconds_max = max(self.queue_seconds_max, seconds)
 
+    def note_breaker_transition(self, name: str, previous: str, state: str) -> None:
+        """Mirror one circuit-breaker transition into the counters
+        (wired as the breakers' ``on_transition`` callback)."""
+        self.breaker_transitions.append((name, previous, state))
+        if name == "thread":
+            self.thread_breaker_state = state
+        else:
+            self.breaker_state = state
+
     def as_dict(self) -> dict:
         dispatched = self.completed + self.errors
         return {
@@ -125,6 +156,16 @@ class ServiceStats:
             "runs": self.runs,
             "fused_runs": self.fused_runs,
             "store_trims": self.store_trims,
+            "deadline_timeouts": self.deadline_timeouts,
+            "queue_rejections": self.queue_rejections,
+            "cancelled_queued": self.cancelled_queued,
+            "abandoned_runs": self.abandoned_runs,
+            "retries": self.retries,
+            "retry_exhausted": self.retry_exhausted,
+            "degraded_runs": self.degraded_runs,
+            "breaker_state": self.breaker_state,
+            "thread_breaker_state": self.thread_breaker_state,
+            "breaker_transitions": [list(t) for t in self.breaker_transitions],
             "view_hits": self.view_hits,
             "ingests": self.ingests,
             "ingest_rows": self.ingest_rows,

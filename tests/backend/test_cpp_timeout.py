@@ -1,0 +1,61 @@
+"""IFAQ_CPP_TIMEOUT: toolchain subprocesses fail loudly, never hang.
+
+No real g++ needed: ``subprocess.run`` is monkeypatched to raise
+``TimeoutExpired``, which is exactly what a wedged compiler or a
+runaway kernel binary produces once the timeout fires.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+import pytest
+
+from repro.backend import compile_cpp
+from repro.backend.compile_cpp import (
+    DEFAULT_CPP_TIMEOUT,
+    CompiledKernel,
+    CppToolchainError,
+    toolchain_timeout,
+)
+from repro.backend.codegen_cpp import CppKernel
+
+
+def timing_out_run(captured):
+    def run(cmd, **kwargs):
+        captured.append(kwargs.get("timeout"))
+        raise subprocess.TimeoutExpired(cmd=cmd, timeout=kwargs.get("timeout") or 0)
+
+    return run
+
+
+class TestToolchainTimeout:
+    def test_default_and_env_overrides(self, monkeypatch):
+        monkeypatch.delenv("IFAQ_CPP_TIMEOUT", raising=False)
+        assert toolchain_timeout() == DEFAULT_CPP_TIMEOUT
+        monkeypatch.setenv("IFAQ_CPP_TIMEOUT", "12.5")
+        assert toolchain_timeout() == 12.5
+        monkeypatch.setenv("IFAQ_CPP_TIMEOUT", "0")
+        assert toolchain_timeout() is None  # non-positive disables
+
+    def test_compile_timeout_raises_toolchain_error(self, tmp_path, monkeypatch):
+        captured: list = []
+        monkeypatch.setenv("IFAQ_CPP_TIMEOUT", "7")
+        monkeypatch.setattr(compile_cpp, "gxx_available", lambda: True)
+        monkeypatch.setattr(subprocess, "run", timing_out_run(captured))
+        kernel = CppKernel(source="int main() { for(;;); }")
+        with pytest.raises(CppToolchainError, match="IFAQ_CPP_TIMEOUT"):
+            compile_cpp.compile_kernel(kernel, work_dir=tmp_path)
+        assert captured == [7.0]  # the timeout reached subprocess.run
+
+    def test_binary_run_timeout_raises_toolchain_error(self, tmp_path, monkeypatch):
+        captured: list = []
+        monkeypatch.setenv("IFAQ_CPP_TIMEOUT", "3")
+        monkeypatch.setattr(subprocess, "run", timing_out_run(captured))
+        compiled = CompiledKernel(
+            binary_path=Path("/nonexistent/kernel"), compile_seconds=0.0, source=""
+        )
+        with pytest.raises(CppToolchainError, match="IFAQ_CPP_TIMEOUT"):
+            compiled.run_lines(tmp_path / "data.txt")
+        assert captured == [3.0]

@@ -317,3 +317,70 @@ class TestEnvConfiguration:
     def test_invalid_mode_rejected(self):
         with pytest.raises(ValueError, match="mode"):
             ShardedBackend(inner=NumpyBackend(), shards=2, mode="gpu")
+
+
+class SleepingBackend(NumpyBackend):
+    """Wedges inside the worker — tests shutdown escalation."""
+
+    def run_groupby(self, kernel, db, predicates=None):
+        import time
+
+        time.sleep(60)
+        return super().run_groupby(kernel, db, predicates)
+
+
+class TestShutdownEscalation:
+    def test_hung_worker_is_reclaimed(self, int_star_db, int_star_query):
+        """close() must reclaim workers even when one is stuck mid-task.
+
+        The worker never reads the cooperative shutdown message (it is
+        wedged in the kernel run), so shutdown escalates: grace join →
+        terminate → kill.  The old order (proxy pool first) deadlocked
+        here — the proxy thread sat in conn.recv() forever.
+        """
+        import time
+
+        plan = groupby_plan(int_star_db, int_star_query)
+        one = ProcessKernelExecutor(workers=1, shutdown_grace=0.2)
+        future = one.run_kernel(
+            SleepingBackend(), int_star_db, "groupby", plan, LAYOUT_SORTED
+        )
+        deadline = time.monotonic() + 10
+        while not one._free.empty() and time.monotonic() < deadline:
+            time.sleep(0.01)  # wait until the proxy dispatched the task
+        process = one._handles[0].process
+        started = time.monotonic()
+        one.shutdown(wait=True)
+        assert time.monotonic() - started < 10
+        assert not process.is_alive()
+        with pytest.raises(WorkerError):
+            future.result(timeout=10)
+
+    def test_kill_worker_is_public_fault_surface(self, int_star_db, int_star_query):
+        plan = plain_plan(int_star_db, int_star_query)
+        backend = NumpyBackend()
+        kernel = backend.compile_plan(plan, LAYOUT_SORTED)
+        want = backend.execute(kernel, int_star_db)
+        one = ProcessKernelExecutor(workers=1)
+        try:
+            one.kill_worker(0)
+            with pytest.raises(WorkerError):
+                one.run_kernel(
+                    backend, int_star_db, "plain", plan, LAYOUT_SORTED
+                ).result()
+            got, _ = one.run_kernel(
+                backend, int_star_db, "plain", plan, LAYOUT_SORTED
+            ).result()
+            assert got == want  # respawned in place, bit-identical
+        finally:
+            one.shutdown()
+
+    def test_shutdown_grace_from_env(self, monkeypatch):
+        from repro.backend.process_pool import default_shutdown_grace
+
+        monkeypatch.setenv("IFAQ_SHUTDOWN_GRACE", "1.5")
+        assert default_shutdown_grace() == 1.5
+        monkeypatch.setenv("IFAQ_SHUTDOWN_GRACE", "-3")
+        assert default_shutdown_grace() == 0.0
+        monkeypatch.delenv("IFAQ_SHUTDOWN_GRACE")
+        assert default_shutdown_grace() == 5.0
